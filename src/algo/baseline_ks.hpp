@@ -1,0 +1,92 @@
+#pragma once
+// Baseline: Kshemkalyani–Sharma-style group DFS (the OPODIS'21 / classic
+// Kshemkalyani–Ali approach the paper improves on; Table 1 rows
+// "O(min{m, kΔ})").
+//
+// All unsettled agents travel together as one group led by the largest-ID
+// agent.  At each node the group probes ports sequentially by physically
+// moving across the edge and back when the neighbor turns out settled —
+// each probed edge costs Θ(1) rounds/epochs, giving O(min{m, kΔ}) total.
+// A settler stores {parentPort, checked} so a revisited node resumes where
+// it left off; memory is O(log(k+Δ)) bits per agent.
+//
+// Both engines are supported; the protocol logic is identical, only the
+// synchronization fabric differs (lock-step staging vs. leader-ordered
+// per-activation moves with reassembly waits).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/async_engine.hpp"
+#include "core/metrics.hpp"
+#include "core/sync_engine.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// Runs the SYNC KS baseline to completion on agents placed per `engine`'s
+/// initial world (rooted configuration: all agents on one node).
+/// Returns once dispersion is achieved.
+class KsSyncDispersion {
+ public:
+  explicit KsSyncDispersion(SyncEngine& engine);
+
+  /// Installs the protocol fiber; call engine.run() afterwards.
+  void start();
+
+  [[nodiscard]] bool dispersed() const;
+
+  /// Per-agent persistent bits currently held (for the memory ledger).
+  [[nodiscard]] std::uint64_t agentBits(AgentIx a) const;
+
+ private:
+  struct AgentState {
+    bool settled = false;
+    Port parentPort = kNoPort;  // settler: port toward DFS-tree parent
+    Port checked = 0;           // settler: ports probed so far
+  };
+
+  Task protocol();
+  Task moveGroup(Port p);
+  void recordMemory();
+
+  SyncEngine& engine_;
+  std::vector<AgentState> st_;
+  std::vector<AgentIx> group_;  // unsettled agents, ascending ID; leader = back
+  BitWidths widths_;
+};
+
+/// Runs the ASYNC KS baseline (per-agent fibers; leader coordinates via
+/// co-located memory writes).
+class KsAsyncDispersion {
+ public:
+  explicit KsAsyncDispersion(AsyncEngine& engine);
+
+  void start();
+
+  [[nodiscard]] bool dispersed() const;
+  [[nodiscard]] std::uint64_t agentBits(AgentIx a) const;
+
+ private:
+  struct AgentState {
+    bool settled = false;
+    Port parentPort = kNoPort;
+    Port checked = 0;
+    Port orderPort = kNoPort;  // follower: pending leader instruction
+  };
+
+  Task leaderFiber(AgentIx self);
+  Task followerFiber(AgentIx self);
+  Task awaitGroupAssembled(AgentIx self, std::uint32_t expected);
+  void orderGroupMove(AgentIx self, Port p, bool usePin);
+  void recordMemory();
+
+  AsyncEngine& engine_;
+  std::vector<AgentState> st_;
+  AgentIx leader_ = kNoAgent;
+  std::uint32_t groupSize_ = 0;  // leader's view of remaining unsettled
+  BitWidths widths_;
+};
+
+}  // namespace disp

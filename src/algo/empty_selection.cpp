@@ -1,0 +1,176 @@
+#include "algo/empty_selection.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+RootedTree RootedTree::fromParentArray(const std::vector<std::int64_t>& parent,
+                                       std::uint32_t root) {
+  const auto n = static_cast<std::uint32_t>(parent.size());
+  DISP_REQUIRE(root < n, "root out of range");
+  DISP_REQUIRE(parent[root] < 0 || parent[root] == root, "root must have no parent");
+
+  RootedTree t;
+  t.root = root;
+  t.parent = parent;
+  t.parent[root] = -1;
+  t.children.assign(n, {});
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v == root) continue;
+    DISP_REQUIRE(t.parent[v] >= 0 && t.parent[v] < n, "dangling parent");
+    t.children[static_cast<std::uint32_t>(t.parent[v])].push_back(v);
+  }
+
+  // Depths via BFS from the root; also validates acyclicity/connectivity.
+  t.depth.assign(n, static_cast<std::uint32_t>(-1));
+  t.depth[root] = 0;
+  std::vector<std::uint32_t> frontier{root};
+  std::uint32_t seen = 1;
+  while (!frontier.empty()) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t v : frontier) {
+      for (const std::uint32_t c : t.children[v]) {
+        DISP_REQUIRE(t.depth[c] == static_cast<std::uint32_t>(-1), "cycle in tree");
+        t.depth[c] = t.depth[v] + 1;
+        ++seen;
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  DISP_REQUIRE(seen == n, "parent array is not a single tree");
+  return t;
+}
+
+std::uint32_t EmptySelection::emptyCount() const {
+  std::uint32_t c = 0;
+  for (const auto o : occupied) c += (o == 0);
+  return c;
+}
+
+std::uint32_t EmptySelection::occupiedCount() const {
+  return static_cast<std::uint32_t>(occupied.size()) - emptyCount();
+}
+
+EmptySelection emptyNodeSelection(const RootedTree& tree) {
+  const std::uint32_t n = tree.size();
+  EmptySelection sel;
+  sel.occupied.assign(n, 0);
+  sel.covererOf.assign(n, -1);
+  sel.coverType.assign(n, CoverType::None);
+  sel.covers.assign(n, {});
+
+  // Line 6: settle an agent on every node at even depth.
+  for (std::uint32_t v = 0; v < n; ++v) sel.occupied[v] = (tree.depth[v] % 2 == 0);
+
+  auto assignCover = [&](std::uint32_t coverer, std::uint32_t covered, CoverType type) {
+    DISP_CHECK(sel.occupied[coverer], "coverer must be occupied");
+    DISP_CHECK(!sel.occupied[covered], "covered node must be empty");
+    DISP_CHECK(sel.coverType[coverer] == CoverType::None ||
+                   sel.coverType[coverer] == type,
+               "a settler covers either children or siblings, never both");
+    sel.coverType[coverer] = type;
+    sel.covers[coverer].push_back(covered);
+    sel.covererOf[covered] = coverer;
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (tree.depth[v] % 2 == 0) {
+      // v occupied.  Case B: v non-leaf with x children (all odd depth,
+      // currently empty): children 4, 7, ... get settlers; v covers 1..3;
+      // each placed settler covers the <= 2 following siblings.
+      const auto& kids = tree.children[v];
+      const auto x = static_cast<std::uint32_t>(kids.size());
+      for (std::uint32_t j = 0; j < x; ++j) {
+        if (j >= 3 && (j % 3 == 0)) sel.occupied[kids[j]] = 1;  // children 4,7,... (1-based)
+      }
+      for (std::uint32_t j = 0; j < x; ++j) {
+        if (sel.occupied[kids[j]]) continue;
+        if (j < 3) {
+          assignCover(v, kids[j], CoverType::Children);
+        } else {
+          const std::uint32_t anchor = kids[(j / 3) * 3];  // preceding settled sibling
+          assignCover(anchor, kids[j], CoverType::Siblings);
+        }
+      }
+    } else {
+      // v empty (odd depth).  Case A: among v's children that are leaves
+      // (even depth, settled by line 6), keep settlers on leaves 1, 4, 7,
+      // ... and remove the rest; each kept leaf covers the <= 2 removed
+      // leaves after it.
+      std::vector<std::uint32_t> leaves;
+      for (const std::uint32_t c : tree.children[v]) {
+        if (tree.isLeaf(c)) leaves.push_back(c);
+      }
+      for (std::uint32_t j = 0; j < leaves.size(); ++j) {
+        if (j % 3 != 0) sel.occupied[leaves[j]] = 0;  // removed
+      }
+      for (std::uint32_t j = 0; j < leaves.size(); ++j) {
+        if (j % 3 != 0) assignCover(leaves[(j / 3) * 3], leaves[j], CoverType::Siblings);
+      }
+    }
+  }
+  return sel;
+}
+
+void validateSelection(const RootedTree& tree, const EmptySelection& sel) {
+  const std::uint32_t n = tree.size();
+  DISP_CHECK(sel.occupied.size() == n, "selection size mismatch");
+
+  // Lemma 1 bound.
+  if (n >= 3) {
+    DISP_CHECK(sel.emptyCount() >= (n + 2) / 3,
+               "Lemma 1 violated: fewer than ceil(k/3) empty nodes");
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (sel.occupied[v]) {
+      DISP_CHECK(sel.covererOf[v] == -1, "occupied node must not be covered");
+      const auto covered = static_cast<std::uint32_t>(sel.covers[v].size());
+      switch (sel.coverType[v]) {
+        case CoverType::None:
+          DISP_CHECK(covered == 0, "None-type settler covering nodes");
+          break;
+        case CoverType::Children:
+          DISP_CHECK(covered >= 1 && covered <= 3, "children cover count out of range");
+          for (const std::uint32_t c : sel.covers[v]) {
+            DISP_CHECK(tree.parent[c] == static_cast<std::int64_t>(v),
+                       "children-cover target is not a child");
+          }
+          break;
+        case CoverType::Siblings:
+          DISP_CHECK(covered >= 1 && covered <= 2, "sibling cover count out of range");
+          for (const std::uint32_t c : sel.covers[v]) {
+            DISP_CHECK(tree.parent[c] == tree.parent[v],
+                       "sibling-cover target is not a sibling");
+          }
+          break;
+      }
+      DISP_CHECK(oscillationTripRounds(sel.coverType[v], covered) <= 6,
+                 "Lemma 2 violated: oscillation trip exceeds 6 rounds");
+    } else {
+      DISP_CHECK(sel.covererOf[v] >= 0, "empty node without coverer");
+      const auto coverer = static_cast<std::uint32_t>(sel.covererOf[v]);
+      DISP_CHECK(sel.occupied[coverer], "coverer is empty");
+      DISP_CHECK(std::find(sel.covers[coverer].begin(), sel.covers[coverer].end(), v) !=
+                     sel.covers[coverer].end(),
+                 "cover lists inconsistent");
+    }
+  }
+}
+
+std::uint32_t oscillationTripRounds(CoverType type, std::uint32_t coveredCount) {
+  switch (type) {
+    case CoverType::None:
+      return 0;
+    case CoverType::Children:
+      return 2 * coveredCount;  // home–c_i–home per child
+    case CoverType::Siblings:
+      return 2 + 2 * coveredCount;  // home–parent …siblings… parent–home
+  }
+  return 0;
+}
+
+}  // namespace disp

@@ -1,0 +1,79 @@
+#pragma once
+// Algorithm 1 (Empty_Node_Selection) and the §5.2 cover/oscillation
+// assignment, in centralized form on an explicit rooted tree.
+//
+// This is the *specification* against which the incremental selection
+// embedded in RootedSyncDisp is validated: it settles ≤ ⌊2k/3⌋ agents on a
+// k-node tree leaving ≥ ⌈k/3⌉ nodes empty (Lemma 1), and matches every
+// empty node to a settled coverer such that a coverer handles at most 3
+// empty children or at most 2 empty siblings (Lemma 3), making every
+// oscillation trip at most 6 rounds (Lemma 2).
+//
+// Selection rules (paper Fig. 1):
+//  * settle every node at even depth;
+//  * Case A — for each parent of settled leaves, keep a settler on leaf
+//    children 1, 4, 7, ... (port order) and remove the rest; a kept leaf
+//    covers the ≤ 2 removed leaves that follow it;
+//  * Case B — for each settled non-leaf with x > 3 children, put a settler
+//    on children 4, 7, 10, ...; the parent covers children 1..3 and each
+//    placed settler covers the ≤ 2 siblings that follow it.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// A rooted tree with children kept in discovery (port) order.
+struct RootedTree {
+  std::vector<std::vector<std::uint32_t>> children;
+  std::vector<std::int64_t> parent;  // -1 at the root
+  std::vector<std::uint32_t> depth;
+  std::uint32_t root = 0;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(parent.size());
+  }
+  [[nodiscard]] bool isLeaf(std::uint32_t v) const { return children[v].empty(); }
+
+  /// Builds from a parent array (parent[root] == root or -1).  Children are
+  /// ordered by node index order of appearance, which callers arrange to be
+  /// port order.
+  [[nodiscard]] static RootedTree fromParentArray(const std::vector<std::int64_t>& parent,
+                                                  std::uint32_t root);
+};
+
+enum class CoverType : std::uint8_t {
+  None,      ///< non-oscillating settler
+  Children,  ///< covers ≤ 3 empty children (trip home–c–home–…, ≤ 6 rounds)
+  Siblings,  ///< covers ≤ 2 empty siblings via the shared parent (≤ 6 rounds)
+};
+
+struct EmptySelection {
+  std::vector<std::uint8_t> occupied;   ///< per node: settler present
+  std::vector<std::int64_t> covererOf;  ///< per node: covering node (-1 if occupied)
+  std::vector<CoverType> coverType;     ///< per node: duty of its settler
+  std::vector<std::vector<std::uint32_t>> covers;  ///< per node: covered nodes
+
+  [[nodiscard]] std::uint32_t emptyCount() const;
+  [[nodiscard]] std::uint32_t occupiedCount() const;
+};
+
+/// Runs Algorithm 1 + cover assignment on `tree`.
+[[nodiscard]] EmptySelection emptyNodeSelection(const RootedTree& tree);
+
+/// Verifies all selection invariants; throws std::logic_error on violation:
+///  * Lemma 1: emptyCount >= ceil(k/3) for k >= 3;
+///  * every empty node has exactly one coverer, which is occupied;
+///  * Children-coverers cover <= 3 of their own children;
+///  * Siblings-coverers cover <= 2 nodes sharing their parent;
+///  * occupied + empty == k.
+void validateSelection(const RootedTree& tree, const EmptySelection& sel);
+
+/// Length in rounds of the oscillation trip implied by a cover assignment
+/// (Lemma 2: always <= 6).
+[[nodiscard]] std::uint32_t oscillationTripRounds(CoverType type,
+                                                  std::uint32_t coveredCount);
+
+}  // namespace disp

@@ -1,0 +1,53 @@
+#include "algo/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace disp {
+
+std::vector<AgentId> randomIds(std::uint32_t k, std::uint64_t seed) {
+  DISP_REQUIRE(k >= 1, "need at least one agent");
+  Rng rng(seed ^ 0x1d5ULL);
+  // Sample k distinct values from [1, 4k] via a partial shuffle.
+  std::vector<AgentId> pool(4ULL * k);
+  std::iota(pool.begin(), pool.end(), 1U);
+  rng.shuffle(pool);
+  pool.resize(k);
+  return pool;
+}
+
+Placement rootedPlacement(const Graph& g, std::uint32_t k, NodeId root,
+                          std::uint64_t seed) {
+  DISP_REQUIRE(k >= 1 && k <= g.nodeCount(), "k must be in [1, n]");
+  DISP_REQUIRE(root < g.nodeCount(), "root out of range");
+  Placement p;
+  p.positions.assign(k, root);
+  p.ids = randomIds(k, seed);
+  return p;
+}
+
+Placement clusteredPlacement(const Graph& g, std::uint32_t k, std::uint32_t clusters,
+                             std::uint64_t seed) {
+  DISP_REQUIRE(k >= 1 && k <= g.nodeCount(), "k must be in [1, n]");
+  DISP_REQUIRE(clusters >= 1 && clusters <= k, "clusters must be in [1, k]");
+  Rng rng(seed ^ 0xc1057e4ULL);
+  std::vector<NodeId> nodes(g.nodeCount());
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  rng.shuffle(nodes);
+  nodes.resize(clusters);
+
+  Placement p;
+  p.positions.reserve(k);
+  for (std::uint32_t a = 0; a < k; ++a) p.positions.push_back(nodes[a % clusters]);
+  p.ids = randomIds(k, seed);
+  return p;
+}
+
+Placement scatteredPlacement(const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  return clusteredPlacement(g, k, k, seed);
+}
+
+}  // namespace disp

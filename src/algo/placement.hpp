@@ -1,0 +1,38 @@
+#pragma once
+// Initial configurations (paper §2): rooted — all k agents on one node;
+// general — agents on at least two nodes.  Placements pair with an agent ID
+// assignment; IDs are unique and drawn from [1, k^O(1)] (we use a seeded
+// injection into [1, 4k] by default so ID bit-width matches the paper's
+// O(log k) assumption).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/world.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+struct Placement {
+  std::vector<NodeId> positions;  // per agent index
+  std::vector<AgentId> ids;       // per agent index, unique
+};
+
+/// All k agents on `root`.
+[[nodiscard]] Placement rootedPlacement(const Graph& g, std::uint32_t k, NodeId root,
+                                        std::uint64_t seed);
+
+/// Agents split across `clusters` distinct random nodes, sizes as equal as
+/// possible (the paper's general initial configuration with ℓ = clusters).
+[[nodiscard]] Placement clusteredPlacement(const Graph& g, std::uint32_t k,
+                                           std::uint32_t clusters, std::uint64_t seed);
+
+/// Each agent on its own random node (already a dispersion configuration —
+/// the boundary case algorithms must still terminate on).
+[[nodiscard]] Placement scatteredPlacement(const Graph& g, std::uint32_t k,
+                                           std::uint64_t seed);
+
+/// Unique IDs for k agents: a random injection into [1, 4k].
+[[nodiscard]] std::vector<AgentId> randomIds(std::uint32_t k, std::uint64_t seed);
+
+}  // namespace disp

@@ -1,0 +1,114 @@
+#include "algo/runner.hpp"
+
+#include "algo/async_rooted.hpp"
+#include "algo/baseline_ks.hpp"
+#include "algo/general_sync.hpp"
+#include "algo/sync_rooted.hpp"
+#include "core/async_engine.hpp"
+#include "core/scheduler.hpp"
+#include "core/sync_engine.hpp"
+#include "util/check.hpp"
+
+namespace disp {
+
+std::string algorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::RootedSync: return "RootedSyncDisp";
+    case Algorithm::RootedAsync: return "RootedAsyncDisp";
+    case Algorithm::GeneralSync: return "GeneralSync(doubling)";
+    case Algorithm::KsSync: return "KS-sync";
+    case Algorithm::KsAsync: return "KS-async";
+  }
+  return "?";
+}
+
+bool isAsync(Algorithm a) {
+  return a == Algorithm::RootedAsync || a == Algorithm::KsAsync;
+}
+
+namespace {
+
+RunResult finishSync(SyncEngine& engine, bool dispersed) {
+  RunResult r;
+  r.dispersed = dispersed;
+  r.time = engine.round();
+  r.totalMoves = engine.totalMoves();
+  r.maxMemoryBits = engine.memory().maxBits();
+  r.finalPositions = engine.positionsSnapshot();
+  return r;
+}
+
+RunResult finishAsync(AsyncEngine& engine, bool dispersed) {
+  RunResult r;
+  r.dispersed = dispersed;
+  r.time = engine.epochs();
+  r.activations = engine.activations();
+  r.totalMoves = engine.totalMoves();
+  r.maxMemoryBits = engine.memory().maxBits();
+  r.finalPositions = engine.positionsSnapshot();
+  return r;
+}
+
+}  // namespace
+
+RunResult runDispersion(const Graph& g, const Placement& placement,
+                        const RunSpec& spec) {
+  const auto k = static_cast<std::uint32_t>(placement.positions.size());
+  DISP_REQUIRE(k >= 1, "placement is empty");
+  const std::uint64_t syncLimit =
+      spec.limit ? spec.limit : 20000ULL * k + 40ULL * g.edgeCount() + 400000;
+  const std::uint64_t asyncLimit =
+      spec.limit ? spec.limit
+                 : 4000ULL * k * k + 800ULL * k * g.maxDegree() + 8000000ULL;
+
+  switch (spec.algorithm) {
+    case Algorithm::RootedSync: {
+      if (k < 7) {
+        SyncEngine engine(g, placement.positions, placement.ids);
+        KsSyncDispersion algo(engine);
+        algo.start();
+        engine.run(syncLimit);
+        return finishSync(engine, algo.dispersed());
+      }
+      SyncEngine engine(g, placement.positions, placement.ids);
+      RootedSyncDispersion algo(engine);
+      algo.start();
+      engine.run(syncLimit);
+      return finishSync(engine, algo.dispersed());
+    }
+    case Algorithm::GeneralSync: {
+      SyncEngine engine(g, placement.positions, placement.ids);
+      GeneralSyncDispersion algo(engine);
+      algo.start();
+      engine.run(syncLimit);
+      return finishSync(engine, algo.dispersed());
+    }
+    case Algorithm::KsSync: {
+      SyncEngine engine(g, placement.positions, placement.ids);
+      KsSyncDispersion algo(engine);
+      algo.start();
+      engine.run(syncLimit);
+      return finishSync(engine, algo.dispersed());
+    }
+    case Algorithm::RootedAsync: {
+      AsyncEngine engine(g, placement.positions, placement.ids,
+                         makeSchedulerByName(spec.scheduler, k, spec.seed));
+      RootedAsyncDispersion algo(engine);
+      algo.start();
+      engine.run(asyncLimit);
+      return finishAsync(engine, algo.dispersed());
+    }
+    case Algorithm::KsAsync: {
+      AsyncEngine engine(g, placement.positions, placement.ids,
+                         makeSchedulerByName(spec.scheduler, k, spec.seed));
+      KsAsyncDispersion algo(engine);
+      algo.start();
+      engine.run(asyncLimit);
+      return finishAsync(engine, algo.dispersed());
+    }
+  }
+  DISP_CHECK(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace disp

@@ -1,0 +1,55 @@
+#pragma once
+// One-call facade over every dispersion algorithm in the library.  This is
+// the public API examples and benches use:
+//
+//   Graph g = makeFamily({"er", 256, seed});
+//   Placement p = rootedPlacement(g, 128, 0, seed);
+//   RunResult r = runDispersion(g, p, {Algorithm::RootedSync});
+//
+// Algorithm menu (paper mapping):
+//   RootedSync   — RootedSyncDisp, Theorem 6.1 (O(k) rounds).  For k < 7
+//                  the seeker machinery is vacuous; falls back to KsSync
+//                  (documented in DESIGN.md §4.5).
+//   RootedAsync  — RootedAsyncDisp, Theorem 7.1 (O(k log k) epochs).
+//   GeneralSync  — §8.1-style multi-source dispersion with KS subsumption
+//                  (doubling growing phase; with ℓ=1 this is the Sudo-style
+//                  O(k log k) baseline of Table 1).
+//   KsSync/KsAsync — the O(min{m, kΔ}) group-DFS baseline (Table 1 rows
+//                  [24]); KsSync/KsAsync require rooted placements.
+
+#include <cstdint>
+#include <string>
+
+#include "algo/placement.hpp"
+#include "core/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+enum class Algorithm {
+  RootedSync,
+  RootedAsync,
+  GeneralSync,
+  KsSync,
+  KsAsync,
+};
+
+struct RunSpec {
+  Algorithm algorithm = Algorithm::RootedSync;
+  /// ASYNC only: round_robin | shuffled | uniform | weighted.
+  std::string scheduler = "round_robin";
+  std::uint64_t seed = 1;
+  /// Safety cap on rounds (SYNC) / activations (ASYNC); 0 = auto.
+  std::uint64_t limit = 0;
+};
+
+/// Runs the requested algorithm to completion and reports the outcome.
+/// Throws std::invalid_argument on spec/placement mismatch and
+/// std::runtime_error if the limit is hit (protocol bug or too-small cap).
+[[nodiscard]] RunResult runDispersion(const Graph& g, const Placement& placement,
+                                      const RunSpec& spec);
+
+[[nodiscard]] std::string algorithmName(Algorithm a);
+[[nodiscard]] bool isAsync(Algorithm a);
+
+}  // namespace disp

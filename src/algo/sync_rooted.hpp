@@ -1,0 +1,153 @@
+#pragma once
+// RootedSyncDisp — the paper's Theorem 6.1 algorithm: dispersion of k <= n
+// agents from a rooted configuration in O(k) rounds with O(log(k+Δ)) bits
+// per agent, in the SYNC model.
+//
+// Structure (paper §5–§6):
+//  * the largest-ID agent a_max leads a DFS; ⌈k/3⌉ seekers run Sync_Probe
+//    (Algorithm 2) so every forward/backtrack step costs O(1) rounds;
+//  * nodes are left empty per Empty_Node_Selection (Algorithm 1), realized
+//    incrementally by the Forward_Move/Backtrack_Move x-counting rules
+//    (Algorithms 6–7); empty nodes are covered by oscillating settlers
+//    whose ≤ 6-round trips (Lemmas 2–3) make them detectable by probes;
+//  * after the DFS tree reaches k nodes, the remaining agents walk to the
+//    root and re-traverse the tree along first-child/next-sibling pointers,
+//    settling on the empty nodes (the §6 "memory-efficient re-traversal").
+//
+// Faithfulness notes (details in DESIGN.md §4):
+//  * per-tree-node bookkeeping lives in NodeRecords held by custodians (the
+//    settler at the node, or the oscillator covering it); the leader checks
+//    records out while the group is at a node and back in before leaving,
+//    waiting ≤ 6 rounds for the custodian when needed;
+//  * "ask α(u′) to cover u" is delivered by an O(1)-round seeker side trip;
+//  * if explorers run out (tight ⌊2k/3⌋ case), up to two seekers are
+//    demoted to explorers ("borrowed") — probes stay O(1) rounds;
+//  * requires k >= 7 (below that the seeker pool cannot absorb borrows;
+//    the runner facade falls back to the KS baseline, whose cost for
+//    constant k is O(Δ) — constant with respect to k).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/oscillation.hpp"
+#include "core/memory.hpp"
+#include "core/metrics.hpp"
+#include "core/sync_engine.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// Per-tree-node DFS bookkeeping (the paper's α(w).* variables).  Exactly
+/// one copy exists per tree node; it lives with the node's custodian, or
+/// "in hand" with the leader while the group is at the node.  All fields
+/// are O(log(k+Δ)) bits.
+struct NodeRecord {
+  bool occupied = false;   ///< settler present at this node
+  Port parentPort = kNoPort;  ///< port toward the DFS parent (⊥ at root)
+  std::uint32_t depth = 0;
+  Port checked = 0;           ///< Sync_Probe progress (α(w).checked)
+  std::uint32_t childCount = 0;     ///< x of Forward_Move
+  std::uint32_t leafChildCount = 0; ///< x of Backtrack_Move leaf trimming
+  Port firstChildPort = kNoPort;    ///< α(w).firstchild
+  Port latestChildPort = kNoPort;   ///< α(w).latestchild
+  Port anchorChildPort = kNoPort;   ///< latest x≡1 (x≥4) settled odd child
+  Port anchorLeafPort = kNoPort;    ///< latest x≡1 kept leaf child
+  Port nextSiblingPort = kNoPort;   ///< sibling pointer (port at the parent)
+};
+
+/// Execution statistics exposed for tests and the experiment harness.
+struct SyncDispStats {
+  std::uint64_t forwardMoves = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probeIterations = 0;
+  std::uint64_t maxProbeRounds = 0;   ///< longest single Sync_Probe (Lemma 4: O(1))
+  std::uint64_t trims = 0;            ///< settlers removed by Backtrack_Move
+  std::uint64_t borrows = 0;          ///< seekers demoted to explorers (≤ 2)
+  std::uint64_t custodianWaitRounds = 0;
+  std::uint32_t treeSize = 0;
+  std::uint32_t emptyAtDfsEnd = 0;    ///< Lemma 1/7: ≥ ⌈k/3⌉
+  std::uint64_t dfsEndRound = 0;      ///< round at which TDFS reached k nodes
+};
+
+class RootedSyncDispersion {
+ public:
+  /// Requires a rooted initial configuration and k >= 7 (see header note).
+  explicit RootedSyncDispersion(SyncEngine& engine);
+
+  /// Installs the protocol fiber and the oscillator round hook.
+  void start();
+
+  [[nodiscard]] bool dispersed() const;
+  [[nodiscard]] const SyncDispStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t agentBits(AgentIx a) const;
+
+  /// Final DFS-tree parent ports per settled agent (test introspection).
+  [[nodiscard]] const OscillatorSystem& oscillators() const noexcept { return osc_; }
+
+ private:
+  enum class Role : std::uint8_t { Leader, Seeker, Explorer };
+
+  struct CoveredRecord {
+    Port stopKey = kNoPort;  ///< child port / sibling port at parent
+    NodeId node = kInvalidNode;  ///< simulation-side assertion key (see DESIGN.md)
+    NodeRecord record;
+  };
+
+  struct AgentState {
+    Role role = Role::Explorer;
+    bool settled = false;
+    NodeId settledAt = kInvalidNode;  // simulation-side assertion key
+    std::optional<NodeRecord> ownRecord;
+    std::vector<CoveredRecord> covered;  // ≤ 3 (children) / ≤ 2 (siblings)
+  };
+
+  // ---- fiber entry ----
+  Task protocol();
+
+  // ---- DFS phases ----
+  Task probeAt(NodeId w);            // result in probeResult_
+  Task forwardMove(NodeId w, Port p);
+  Task backtrackMove(NodeId w);
+  Task settleRemaining(NodeId last);
+  Task retraverse(NodeId root);
+
+  // ---- record custody ----
+  Task checkInRecord(NodeId v);      // inHand_ -> custodian (waits co-location)
+  Task checkOutRecord(NodeId v);     // custodian -> inHand_
+  Task awaitHolderAt(NodeId v);      // holder co-located; ptr in peek_
+  [[nodiscard]] NodeRecord* holderRecordAt(NodeId v, AgentIx* holder = nullptr,
+                                           std::size_t* coveredIx = nullptr);
+
+  // ---- group / role helpers ----
+  [[nodiscard]] std::vector<AgentIx> groupAt(NodeId v) const;  // unsettled co-located
+  [[nodiscard]] AgentIx pickSeekerAt(NodeId v) const;
+  [[nodiscard]] AgentIx settlerAtNode(NodeId v) const;
+  Task moveGroup(NodeId from, Port p);
+  void settleAgent(AgentIx a, NodeId at);
+  [[nodiscard]] AgentIx chooseSettleCandidate(NodeId at);  // may borrow a seeker
+
+  // ---- errands ----
+  Task sideTripSetNextSibling(NodeId w, Port prevChildPort, Port newChildPort);
+  Task messengerSiblingCover(NodeId u, Port portBackToParent, Port childPortOfU,
+                             Port anchorPort);
+  Task trimLeaf(NodeId pw, Port portToLeaf, Port anchorPort);
+  Task awaitSettlerIdleAtHome(NodeId v);  // result in foundSettler_
+
+  void recordMemory();
+
+  SyncEngine& engine_;
+  OscillatorSystem osc_;
+  std::vector<AgentState> st_;
+  SyncDispStats stats_;
+  BitWidths widths_;
+  AgentIx leader_ = kNoAgent;
+
+  std::optional<NodeRecord> inHand_;  // record of the group's current node
+  Port probeResult_ = kNoPort;
+  AgentIx foundSettler_ = kNoAgent;   // result slot of awaitSettlerIdleAtHome
+  std::uint32_t settledCount_ = 0;
+};
+
+}  // namespace disp

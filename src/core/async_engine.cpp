@@ -1,0 +1,96 @@
+#include "core/async_engine.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+AsyncEngine::AsyncEngine(const Graph& g, std::vector<NodeId> startPositions,
+                         std::vector<AgentId> ids, std::unique_ptr<Scheduler> scheduler)
+    : world_(g, std::move(startPositions), std::move(ids)),
+      memory_(world_.agentCount()),
+      scheduler_(std::move(scheduler)),
+      fibers_(world_.agentCount()),
+      activeThisEpoch_(world_.agentCount(), 0) {
+  DISP_REQUIRE(scheduler_ != nullptr, "scheduler required");
+}
+
+StepAwait AsyncEngine::nextActivation(AgentIx a) {
+  DISP_CHECK(a == current_, "agent awaited activation outside its own turn");
+  return StepAwait{&fibers_[a].slot};
+}
+
+void AsyncEngine::move(AgentIx a, Port p) {
+  DISP_CHECK(a == current_, "only the activated agent may move");
+  DISP_CHECK(!inSetup_, "no moves before the first activation (time starts at t=0)");
+  DISP_CHECK(!movedThisActivation_, "an activation allows at most one move");
+  world_.applyMove(a, p);
+  movedThisActivation_ = true;
+}
+
+void AsyncEngine::setAgentFiber(AgentIx a, Task task) {
+  DISP_REQUIRE(a < agentCount(), "agent out of range");
+  DISP_REQUIRE(task.valid(), "fiber task is empty");
+  DISP_REQUIRE(!fibers_[a].task.valid(), "agent already has a fiber");
+  fibers_[a].task = std::move(task);
+}
+
+void AsyncEngine::run(std::uint64_t maxActivations) {
+  for (AgentIx a = 0; a < agentCount(); ++a) {
+    DISP_REQUIRE(fibers_[a].task.valid(), "every agent needs a fiber before run()");
+  }
+
+  // Kick every fiber to its first `co_await nextActivation(...)`.  This is
+  // t = 0 setup, not an activation: no moves are permitted yet.
+  inSetup_ = true;
+  for (AgentIx a = 0; a < agentCount(); ++a) {
+    FiberState& fiber = fibers_[a];
+    if (fiber.started) continue;
+    fiber.started = true;
+    current_ = a;
+    fiber.task.rootHandle().resume();
+    current_ = kNoAgent;
+    if (fiber.task.done()) fiber.task.rethrowIfFailed();
+  }
+  inSetup_ = false;
+
+  while (!finished_) {
+    if (activations_ >= maxActivations) {
+      throw std::runtime_error(
+          "AsyncEngine: activation cap exceeded (deadlock or bug); activations=" +
+          std::to_string(activations_));
+    }
+    const AgentIx a = scheduler_->next();
+    DISP_CHECK(a < agentCount(), "scheduler returned bad agent");
+
+    FiberState& fiber = fibers_[a];
+    current_ = a;
+    movedThisActivation_ = false;
+    if (fiber.slot.armed()) {
+      fiber.slot.take().resume();
+    }
+    current_ = kNoAgent;
+    if (fiber.task.done()) fiber.task.rethrowIfFailed();
+
+    ++activations_;
+    if (!activeThisEpoch_[a]) {
+      activeThisEpoch_[a] = 1;
+      if (++activeCount_ == agentCount()) {
+        ++epochs_;
+        activeCount_ = 0;
+        std::fill(activeThisEpoch_.begin(), activeThisEpoch_.end(), 0);
+      }
+    }
+  }
+  // A partially elapsed epoch still counts as time spent.
+  if (activeCount_ > 0) ++epochs_;
+}
+
+std::vector<NodeId> AsyncEngine::positionsSnapshot() const {
+  std::vector<NodeId> out(agentCount());
+  for (AgentIx a = 0; a < agentCount(); ++a) out[a] = positionOf(a);
+  return out;
+}
+
+}  // namespace disp

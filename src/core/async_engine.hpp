@@ -1,0 +1,89 @@
+#pragma once
+// ASYNC model: agents are activated one at a time by a fair adversarial
+// scheduler; an activation is one full Communicate–Compute–Move cycle
+// (reads of co-located memory, local computation, at most one edge
+// traversal — atomic per activation, matching the paper's guarantee that
+// agents rest on nodes between cycles).
+//
+// Time is measured in *epochs* (paper §2): epoch i ends at the first moment
+// every agent has completed at least one full cycle since epoch i-1 ended.
+//
+// Protocol code runs in one fiber per agent: a loop of
+// `co_await engine.nextActivation(a)` punctuated by at most one
+// `engine.move(a, port)` per activation.  A protocol signals global
+// termination via `engine.finish()` (e.g. when the last leader settles).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fiber.hpp"
+#include "core/memory.hpp"
+#include "core/scheduler.hpp"
+#include "core/world.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+class AsyncEngine {
+ public:
+  AsyncEngine(const Graph& g, std::vector<NodeId> startPositions,
+              std::vector<AgentId> ids, std::unique_ptr<Scheduler> scheduler);
+
+  // --- world queries ---
+  [[nodiscard]] const Graph& graph() const noexcept { return world_.graph(); }
+  [[nodiscard]] std::uint32_t agentCount() const noexcept { return world_.agentCount(); }
+  [[nodiscard]] AgentId idOf(AgentIx a) const { return world_.idOf(a); }
+  [[nodiscard]] NodeId positionOf(AgentIx a) const { return world_.positionOf(a); }
+  [[nodiscard]] Port pinOf(AgentIx a) const { return world_.pinOf(a); }
+  [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
+    return world_.agentsAt(v);
+  }
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
+  [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
+  [[nodiscard]] MemoryLedger& memory() noexcept { return memory_; }
+
+  // --- protocol-side API (only valid inside fibers) ---
+  /// Awaitable: parks agent `a` until the scheduler activates it again.
+  [[nodiscard]] StepAwait nextActivation(AgentIx a);
+
+  /// Moves agent `a` through port `p` now.  At most one move per activation
+  /// (enforced); only the currently activated agent may move.
+  void move(AgentIx a, Port p);
+
+  /// Marks the protocol finished; run() returns after the current activation.
+  void finish() noexcept { finished_ = true; }
+
+  // --- orchestration ---
+  /// Registers agent `a`'s program.  Every agent must have exactly one.
+  void setAgentFiber(AgentIx a, Task task);
+
+  /// Activates agents per the scheduler until finish() or the activation
+  /// cap; throws on a fiber exception or when the cap is hit unfinished.
+  void run(std::uint64_t maxActivations);
+
+  [[nodiscard]] std::vector<NodeId> positionsSnapshot() const;
+
+ private:
+  struct FiberState {
+    Task task;
+    ResumeSlot slot;
+    bool started = false;
+  };
+
+  World world_;
+  MemoryLedger memory_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<FiberState> fibers_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t activations_ = 0;
+  std::vector<std::uint8_t> activeThisEpoch_;
+  std::uint32_t activeCount_ = 0;
+  AgentIx current_ = kNoAgent;
+  bool movedThisActivation_ = false;
+  bool inSetup_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace disp

@@ -1,0 +1,6 @@
+#include "core/fiber.hpp"
+
+// Task is header-only; this TU pins the component in the build graph.
+namespace disp {
+static_assert(sizeof(Task) == sizeof(void*), "Task should remain a thin handle");
+}  // namespace disp

@@ -1,0 +1,119 @@
+#pragma once
+// Cooperative coroutine tasks for protocol orchestration.
+//
+// Distributed protocols are naturally sequential per participant ("move,
+// wait two rounds, check who you met, move back"), but a simulation must
+// interleave many participants.  Task is a minimal nestable coroutine:
+// a protocol is written as straight-line code that `co_await`s time
+// (rounds in SYNC, activations in ASYNC); engines resume the suspended
+// leaf once per time step.
+//
+//   Task probe(Ctx& c) { ...; co_await c.round(); ...; }
+//   Task dfs(Ctx& c)   { ...; co_await probe(c); ... }   // nesting
+//
+// Tasks start suspended; engines own the root handles.  Exceptions
+// propagate: nested tasks rethrow into their parent at resumption; root
+// task exceptions are rethrown by the engine's run loop.
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace disp {
+
+class Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent frame, resumed on completion
+    std::exception_ptr exception;
+
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Symmetric transfer back into the awaiting parent, if any.
+        const auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept { return !handle_ || handle_.done(); }
+
+  /// Engine-side: the root handle to kick off / resume.
+  [[nodiscard]] std::coroutine_handle<> rootHandle() const noexcept { return handle_; }
+
+  /// Rethrows an exception that escaped the (finished) task, if any.
+  void rethrowIfFailed() const {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  // --- awaitable interface: `co_await subtask` runs it to completion ---
+  [[nodiscard]] bool await_ready() const noexcept { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer into the child
+  }
+  void await_resume() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Where a suspended fiber parks the handle an engine must resume at the
+/// next time step.  Engines expose one slot per fiber; the time-step
+/// awaiter writes the current leaf handle into it.
+struct ResumeSlot {
+  std::coroutine_handle<> pending;
+
+  [[nodiscard]] bool armed() const noexcept { return pending != nullptr; }
+  std::coroutine_handle<> take() noexcept { return std::exchange(pending, nullptr); }
+};
+
+/// Awaitable that parks the current coroutine in `slot` until the engine's
+/// next time step.
+struct StepAwait {
+  ResumeSlot* slot;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept { slot->pending = h; }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace disp

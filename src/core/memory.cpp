@@ -1,0 +1,9 @@
+#include "core/memory.hpp"
+
+namespace disp {
+static_assert(bitsFor(0) == 1);
+static_assert(bitsFor(1) == 1);
+static_assert(bitsFor(2) == 2);
+static_assert(bitsFor(255) == 8);
+static_assert(bitsFor(256) == 9);
+}  // namespace disp

@@ -1,0 +1,59 @@
+#pragma once
+// Persistent-memory accounting (the paper's "memory complexity" column).
+//
+// Memory complexity is the number of bits an agent carries from one CCM
+// cycle to the next; Compute-phase scratch is free.  Each algorithm reports
+// its agents' persistent footprint through this ledger at checkpoints (every
+// settle/role change and periodically); the ledger keeps the high-water
+// mark, which EXPERIMENTS.md compares against O(log(k+Δ)).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace disp {
+
+/// Bits to store a value in [0, maxValue] (at least 1).
+[[nodiscard]] constexpr std::uint32_t bitsFor(std::uint64_t maxValue) noexcept {
+  std::uint32_t bits = 1;
+  while ((maxValue >>= 1) != 0) ++bits;
+  return bits;
+}
+
+/// Width catalogue for a run: all protocol fields are combinations of
+/// these quantities.
+struct BitWidths {
+  std::uint32_t id;     ///< agent identifier: ⌈log2(maxId+1)⌉
+  std::uint32_t port;   ///< a port (including ⊥): ⌈log2(Δ+2)⌉
+  std::uint32_t count;  ///< a counter bounded by k: ⌈log2(k+1)⌉
+
+  static BitWidths forRun(std::uint64_t maxId, std::uint32_t maxDegree,
+                          std::uint32_t k) noexcept {
+    return {bitsFor(maxId), bitsFor(static_cast<std::uint64_t>(maxDegree) + 1),
+            bitsFor(k)};
+  }
+};
+
+class MemoryLedger {
+ public:
+  explicit MemoryLedger(std::uint32_t agentCount = 0) : perAgent_(agentCount, 0) {}
+
+  void resize(std::uint32_t agentCount) { perAgent_.assign(agentCount, 0); }
+
+  /// Records agent `a` currently persisting `bits` bits.
+  void record(std::uint32_t a, std::uint64_t bits) {
+    if (a < perAgent_.size()) perAgent_[a] = std::max(perAgent_[a], bits);
+    maxBits_ = std::max(maxBits_, bits);
+  }
+
+  [[nodiscard]] std::uint64_t maxBits() const noexcept { return maxBits_; }
+  [[nodiscard]] std::uint64_t bitsOf(std::uint32_t a) const {
+    return a < perAgent_.size() ? perAgent_[a] : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> perAgent_;
+  std::uint64_t maxBits_ = 0;
+};
+
+}  // namespace disp

@@ -1,0 +1,22 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace disp {
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << (dispersed ? "dispersed" : "NOT dispersed") << " time=" << time
+     << " moves=" << totalMoves << " memBits=" << maxMemoryBits;
+  if (activations > 0) os << " activations=" << activations;
+  return os.str();
+}
+
+bool isDispersed(const std::vector<NodeId>& positions) {
+  std::vector<NodeId> sorted = positions;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace disp

@@ -1,0 +1,28 @@
+#pragma once
+// Run results and dispersion verification.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// Outcome of one simulated run.
+struct RunResult {
+  bool dispersed = false;      ///< every agent settled on a distinct node
+  std::uint64_t time = 0;      ///< rounds (SYNC) or epochs (ASYNC)
+  std::uint64_t activations = 0;  ///< ASYNC only: total CCM cycles executed
+  std::uint64_t totalMoves = 0;   ///< edge traversals summed over agents
+  std::uint64_t maxMemoryBits = 0;  ///< persistent-memory high-water mark
+  std::vector<NodeId> finalPositions;  ///< per agent index
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// True iff `positions` are pairwise distinct (the dispersion configuration).
+[[nodiscard]] bool isDispersed(const std::vector<NodeId>& positions);
+
+}  // namespace disp

@@ -1,0 +1,125 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+namespace {
+
+class RoundRobin final : public Scheduler {
+ public:
+  explicit RoundRobin(std::uint32_t k) : k_(k) {}
+  std::uint32_t next() override { return std::exchange(cursor_, (cursor_ + 1) % k_); }
+  std::string name() const override { return "round_robin"; }
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t cursor_ = 0;
+};
+
+class ShuffledSweeps final : public Scheduler {
+ public:
+  ShuffledSweeps(std::uint32_t k, std::uint64_t seed) : rng_(seed), order_(k) {
+    std::iota(order_.begin(), order_.end(), 0U);
+    rng_.shuffle(order_);
+  }
+  std::uint32_t next() override {
+    if (cursor_ == order_.size()) {
+      cursor_ = 0;
+      rng_.shuffle(order_);
+    }
+    return order_[cursor_++];
+  }
+  std::string name() const override { return "shuffled"; }
+
+ private:
+  Rng rng_;
+  std::vector<std::uint32_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+class Uniform final : public Scheduler {
+ public:
+  Uniform(std::uint32_t k, std::uint64_t seed) : k_(k), rng_(seed) {}
+  std::uint32_t next() override { return static_cast<std::uint32_t>(rng_.below(k_)); }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::uint32_t k_;
+  Rng rng_;
+};
+
+class Weighted final : public Scheduler {
+ public:
+  Weighted(std::uint32_t k, std::vector<std::uint32_t> slowSet, std::uint32_t skew,
+           std::uint64_t seed)
+      : rng_(seed) {
+    DISP_REQUIRE(skew >= 1, "skew must be >= 1");
+    std::vector<std::uint8_t> slow(k, 0);
+    for (const std::uint32_t a : slowSet) {
+      DISP_REQUIRE(a < k, "slow agent out of range");
+      slow[a] = 1;
+    }
+    for (std::uint32_t a = 0; a < k; ++a) {
+      const std::uint32_t copies = slow[a] ? 1 : skew;
+      for (std::uint32_t c = 0; c < copies; ++c) pool_.push_back(a);
+    }
+  }
+  std::uint32_t next() override {
+    return pool_[static_cast<std::size_t>(rng_.below(pool_.size()))];
+  }
+  std::string name() const override { return "weighted"; }
+
+ private:
+  Rng rng_;
+  std::vector<std::uint32_t> pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> makeRoundRobinScheduler(std::uint32_t k) {
+  DISP_REQUIRE(k > 0, "need agents");
+  return std::make_unique<RoundRobin>(k);
+}
+
+std::unique_ptr<Scheduler> makeShuffledSweepScheduler(std::uint32_t k, std::uint64_t seed) {
+  DISP_REQUIRE(k > 0, "need agents");
+  return std::make_unique<ShuffledSweeps>(k, seed);
+}
+
+std::unique_ptr<Scheduler> makeUniformScheduler(std::uint32_t k, std::uint64_t seed) {
+  DISP_REQUIRE(k > 0, "need agents");
+  return std::make_unique<Uniform>(k, seed);
+}
+
+std::unique_ptr<Scheduler> makeWeightedScheduler(std::uint32_t k,
+                                                 std::vector<std::uint32_t> slowSet,
+                                                 std::uint32_t skew, std::uint64_t seed) {
+  DISP_REQUIRE(k > 0, "need agents");
+  return std::make_unique<Weighted>(k, std::move(slowSet), skew, seed);
+}
+
+std::unique_ptr<Scheduler> makeSchedulerByName(const std::string& name, std::uint32_t k,
+                                               std::uint64_t seed) {
+  if (name == "round_robin") return makeRoundRobinScheduler(k);
+  if (name == "shuffled") return makeShuffledSweepScheduler(k, seed);
+  if (name == "uniform") return makeUniformScheduler(k, seed);
+  if (name == "weighted") {
+    // Slow down the lowest-index agent (the async leader is typically the
+    // max-ID agent, placed last, so index 0 is usually a follower — this
+    // stresses group-reassembly waits).
+    return makeWeightedScheduler(k, {0}, 8, seed);
+  }
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::vector<std::string> knownSchedulers() {
+  return {"round_robin", "shuffled", "uniform", "weighted"};
+}
+
+}  // namespace disp

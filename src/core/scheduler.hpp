@@ -1,0 +1,53 @@
+#pragma once
+// Activation schedulers for the ASYNC engine.
+//
+// The ASYNC adversary controls when each agent performs CCM cycles, subject
+// to fairness (every agent is activated infinitely often).  Time is then
+// measured in epochs — the scheduler cannot slow the algorithm down in
+// epoch terms by merely starving one agent, but it can reorder operations
+// arbitrarily, which is what breaks naive algorithms (the paper's §4.3
+// in-transit-helper scenario).  These policies generate a spectrum of
+// interleavings:
+//
+//   RoundRobin     — fixed order sweeps (most synchronous-like)
+//   ShuffledSweeps — a fresh random permutation per sweep
+//   UniformRandom  — i.i.d. uniform agent choice
+//   Weighted       — a designated subset is activated `skew`× more often,
+//                    stretching the interleavings inside each epoch
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disp {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Index of the next agent to activate (in [0, k)).
+  [[nodiscard]] virtual std::uint32_t next() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Scheduler> makeRoundRobinScheduler(std::uint32_t k);
+[[nodiscard]] std::unique_ptr<Scheduler> makeShuffledSweepScheduler(std::uint32_t k,
+                                                                    std::uint64_t seed);
+[[nodiscard]] std::unique_ptr<Scheduler> makeUniformScheduler(std::uint32_t k,
+                                                              std::uint64_t seed);
+/// Agents whose index is in `slowSet` are scheduled with weight 1; all
+/// others with weight `skew` (>= 1).
+[[nodiscard]] std::unique_ptr<Scheduler> makeWeightedScheduler(
+    std::uint32_t k, std::vector<std::uint32_t> slowSet, std::uint32_t skew,
+    std::uint64_t seed);
+
+/// Named factory used by benches: round_robin | shuffled | uniform |
+/// weighted (weighted slows the first agent by 8x by default).
+[[nodiscard]] std::unique_ptr<Scheduler> makeSchedulerByName(const std::string& name,
+                                                             std::uint32_t k,
+                                                             std::uint64_t seed);
+[[nodiscard]] std::vector<std::string> knownSchedulers();
+
+}  // namespace disp

@@ -1,0 +1,87 @@
+#include "core/sync_engine.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+SyncEngine::SyncEngine(const Graph& g, std::vector<NodeId> startPositions,
+                       std::vector<AgentId> ids)
+    : world_(g, std::move(startPositions), std::move(ids)),
+      memory_(world_.agentCount()),
+      stagedFlag_(world_.agentCount(), 0) {}
+
+void SyncEngine::stageMove(AgentIx a, Port p) {
+  DISP_REQUIRE(a < agentCount(), "agent out of range");
+  DISP_CHECK(!stagedFlag_[a], "agent staged two moves in one round");
+  const NodeId at = world_.positionOf(a);
+  DISP_REQUIRE(p >= 1 && p <= graph().degree(at), "staged move through invalid port");
+  stagedFlag_[a] = 1;
+  staged_.emplace_back(a, p);
+}
+
+StepAwait SyncEngine::nextRound() {
+  DISP_CHECK(currentSlot_ != nullptr, "nextRound() awaited outside a fiber");
+  return StepAwait{currentSlot_};
+}
+
+void SyncEngine::addFiber(Task task) {
+  DISP_REQUIRE(task.valid(), "fiber task is empty");
+  auto fs = std::make_unique<FiberState>();
+  fs->task = std::move(task);
+  fibers_.push_back(std::move(fs));
+}
+
+void SyncEngine::commitRound() {
+  for (const auto& [a, p] : staged_) {
+    world_.applyMove(a, p);
+    stagedFlag_[a] = 0;
+  }
+  staged_.clear();
+  ++round_;
+}
+
+void SyncEngine::run(std::uint64_t maxRounds) {
+  const std::uint64_t limit = round_ + maxRounds;
+  for (;;) {
+    for (const auto& fiber : fibers_) {
+      if (fiber->task.done()) continue;
+      currentSlot_ = &fiber->slot;
+      if (!fiber->started) {
+        fiber->started = true;
+        fiber->task.rootHandle().resume();
+      } else if (fiber->slot.armed()) {
+        fiber->slot.take().resume();
+      }
+      currentSlot_ = nullptr;
+      if (fiber->task.done()) fiber->task.rethrowIfFailed();
+    }
+    bool anyAlive = false;
+    for (const auto& fiber : fibers_) anyAlive |= !fiber->task.done();
+    // A round is only charged if it commits work or some fiber still waits
+    // on it; the resume in which the last fiber merely returns is free.
+    if (!anyAlive && staged_.empty()) break;
+    for (const auto& hook : hooks_) hook();
+    commitRound();
+    if (!anyAlive) break;  // final staged moves committed above
+    if (round_ >= limit) {
+      throw std::runtime_error("SyncEngine: round limit exceeded (deadlock or bug); round=" +
+                               std::to_string(round_));
+    }
+  }
+}
+
+std::vector<NodeId> SyncEngine::positionsSnapshot() const {
+  std::vector<NodeId> out(agentCount());
+  for (AgentIx a = 0; a < agentCount(); ++a) out[a] = positionOf(a);
+  return out;
+}
+
+Task skipRounds(SyncEngine& engine, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    co_await engine.nextRound();
+  }
+}
+
+}  // namespace disp

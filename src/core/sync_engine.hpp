@@ -1,0 +1,82 @@
+#pragma once
+// SYNC model: lock-step rounds (the paper's §2 "Time cycle" under full
+// synchrony).  Every round, every agent performs one CCM cycle; moves are
+// staged during the round and commit simultaneously at its end, so meetings
+// are co-locations at commit points.
+//
+// Protocol code runs in fibers (see fiber.hpp): a fiber stages moves for
+// the agents it controls and `co_await engine.round()`s to let time pass.
+// Several fibers may coexist (general initial configurations run one DFS
+// fiber per start node).  Round hooks run every round before commit and are
+// used by free-running subsystems (oscillating settlers).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/fiber.hpp"
+#include "core/memory.hpp"
+#include "core/world.hpp"
+#include "graph/graph.hpp"
+
+namespace disp {
+
+class SyncEngine {
+ public:
+  SyncEngine(const Graph& g, std::vector<NodeId> startPositions,
+             std::vector<AgentId> ids);
+
+  // --- world queries (valid between rounds) ---
+  [[nodiscard]] const Graph& graph() const noexcept { return world_.graph(); }
+  [[nodiscard]] std::uint32_t agentCount() const noexcept { return world_.agentCount(); }
+  [[nodiscard]] AgentId idOf(AgentIx a) const { return world_.idOf(a); }
+  [[nodiscard]] NodeId positionOf(AgentIx a) const { return world_.positionOf(a); }
+  [[nodiscard]] Port pinOf(AgentIx a) const { return world_.pinOf(a); }
+  [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
+    return world_.agentsAt(v);
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
+  [[nodiscard]] MemoryLedger& memory() noexcept { return memory_; }
+
+  // --- staging (fibers and hooks) ---
+  /// Stages a move for this round; at most one per agent per round.
+  void stageMove(AgentIx a, Port p);
+
+  /// Awaitable: suspend the calling fiber until the next round boundary.
+  [[nodiscard]] StepAwait nextRound();
+
+  // --- orchestration ---
+  void addFiber(Task task);
+  void addRoundHook(std::function<void()> hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Runs rounds until every fiber completes.  Throws if a fiber threw, or
+  /// if `maxRounds` elapse first (deadlock guard).
+  void run(std::uint64_t maxRounds);
+
+  [[nodiscard]] std::vector<NodeId> positionsSnapshot() const;
+
+ private:
+  struct FiberState {
+    Task task;
+    ResumeSlot slot;
+    bool started = false;
+  };
+
+  void commitRound();
+
+  World world_;
+  MemoryLedger memory_;
+  std::uint64_t round_ = 0;
+  std::vector<std::pair<AgentIx, Port>> staged_;
+  std::vector<std::uint8_t> stagedFlag_;
+  std::vector<std::unique_ptr<FiberState>> fibers_;
+  std::vector<std::function<void()>> hooks_;
+  ResumeSlot* currentSlot_ = nullptr;
+};
+
+/// Convenience subtask: let `n` rounds pass.
+Task skipRounds(SyncEngine& engine, std::uint32_t n);
+
+}  // namespace disp

@@ -1,0 +1,43 @@
+#include "core/world.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace disp {
+
+World::World(const Graph& g, std::vector<NodeId> startPositions, std::vector<AgentId> ids)
+    : graph_(&g),
+      pos_(std::move(startPositions)),
+      ids_(std::move(ids)),
+      occupants_(g.nodeCount()) {
+  DISP_REQUIRE(!pos_.empty(), "need at least one agent");
+  DISP_REQUIRE(pos_.size() == ids_.size(), "positions/ids size mismatch");
+  DISP_REQUIRE(pos_.size() <= g.nodeCount(), "k must be <= n");
+  {
+    std::set<AgentId> unique(ids_.begin(), ids_.end());
+    DISP_REQUIRE(unique.size() == ids_.size(), "agent IDs must be unique");
+  }
+  pin_.assign(pos_.size(), kNoPort);
+  for (AgentIx a = 0; a < agentCount(); ++a) {
+    DISP_REQUIRE(pos_[a] < g.nodeCount(), "start position out of range");
+    occupants_[pos_[a]].push_back(a);
+  }
+}
+
+void World::applyMove(AgentIx a, Port p) {
+  DISP_REQUIRE(a < agentCount(), "agent out of range");
+  const NodeId from = pos_[a];
+  DISP_REQUIRE(p >= 1 && p <= graph_->degree(from), "move through invalid port");
+  const NodeId to = graph_->neighbor(from, p);
+
+  auto& fromOcc = occupants_[from];
+  fromOcc.erase(std::find(fromOcc.begin(), fromOcc.end(), a));
+  auto& toOcc = occupants_[to];
+  toOcc.insert(std::upper_bound(toOcc.begin(), toOcc.end(), a), a);
+
+  pos_[a] = to;
+  pin_[a] = graph_->reversePort(from, p);
+  ++totalMoves_;
+}
+
+}  // namespace disp

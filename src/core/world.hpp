@@ -1,0 +1,65 @@
+#pragma once
+// Shared world state for both engines: agent positions, incoming ports and
+// per-node occupant sets.  Nodes themselves remain memoryless — occupancy
+// is engine bookkeeping for co-location queries, which are exactly what the
+// paper's local communication model permits.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// Globally unique agent identifier (the paper's a_i.ID ∈ [1, k^O(1)]).
+using AgentId = std::uint32_t;
+
+/// Dense agent index in [0, k); engine-internal.
+using AgentIx = std::uint32_t;
+inline constexpr AgentIx kNoAgent = static_cast<AgentIx>(-1);
+
+class World {
+ public:
+  World(const Graph& g, std::vector<NodeId> startPositions, std::vector<AgentId> ids);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::uint32_t agentCount() const noexcept {
+    return static_cast<std::uint32_t>(pos_.size());
+  }
+
+  [[nodiscard]] AgentId idOf(AgentIx a) const {
+    DISP_DCHECK(a < agentCount(), "agent out of range");
+    return ids_[a];
+  }
+  [[nodiscard]] NodeId positionOf(AgentIx a) const {
+    DISP_DCHECK(a < agentCount(), "agent out of range");
+    return pos_[a];
+  }
+  /// Incoming port: the port of the current node through which the agent
+  /// last arrived (kNoPort before the first move).
+  [[nodiscard]] Port pinOf(AgentIx a) const {
+    DISP_DCHECK(a < agentCount(), "agent out of range");
+    return pin_[a];
+  }
+
+  /// Agents co-located at node v, ascending by agent index.
+  [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
+    DISP_DCHECK(v < graph_->nodeCount(), "node out of range");
+    return occupants_[v];
+  }
+
+  [[nodiscard]] std::uint64_t totalMoves() const noexcept { return totalMoves_; }
+
+  /// Moves agent `a` through port `p` of its current node (immediately).
+  void applyMove(AgentIx a, Port p);
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> pos_;
+  std::vector<Port> pin_;
+  std::vector<AgentId> ids_;
+  std::vector<std::vector<AgentIx>> occupants_;
+  std::uint64_t totalMoves_ = 0;
+};
+
+}  // namespace disp

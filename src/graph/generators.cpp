@@ -1,0 +1,310 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace disp {
+
+GraphBuilder makePath(std::uint32_t n) {
+  DISP_REQUIRE(n >= 1, "path needs >= 1 node");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) b.addEdge(i, i + 1);
+  return b;
+}
+
+GraphBuilder makeCycle(std::uint32_t n) {
+  DISP_REQUIRE(n >= 3, "cycle needs >= 3 nodes");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.addEdge(i, (i + 1) % n);
+  return b;
+}
+
+GraphBuilder makeStar(std::uint32_t n) {
+  DISP_REQUIRE(n >= 2, "star needs >= 2 nodes");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 1; i < n; ++i) b.addEdge(0, i);
+  return b;
+}
+
+GraphBuilder makeWheel(std::uint32_t n) {
+  DISP_REQUIRE(n >= 4, "wheel needs >= 4 nodes");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 1; i < n; ++i) b.addEdge(0, i);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint32_t next = (i == n - 1) ? 1 : i + 1;
+    b.addEdge(i, next);
+  }
+  return b;
+}
+
+GraphBuilder makeComplete(std::uint32_t n) {
+  DISP_REQUIRE(n >= 2, "complete graph needs >= 2 nodes");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) b.addEdge(i, j);
+  return b;
+}
+
+GraphBuilder makeCompleteBipartite(std::uint32_t a, std::uint32_t bSize) {
+  DISP_REQUIRE(a >= 1 && bSize >= 1, "bipartite sides must be non-empty");
+  GraphBuilder b(a + bSize);
+  for (std::uint32_t i = 0; i < a; ++i)
+    for (std::uint32_t j = 0; j < bSize; ++j) b.addEdge(i, a + j);
+  return b;
+}
+
+GraphBuilder makeBinaryTree(std::uint32_t n) {
+  DISP_REQUIRE(n >= 1, "tree needs >= 1 node");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 1; i < n; ++i) b.addEdge(i, (i - 1) / 2);
+  return b;
+}
+
+GraphBuilder makeRandomTree(std::uint32_t n, std::uint64_t seed) {
+  DISP_REQUIRE(n >= 1, "tree needs >= 1 node");
+  GraphBuilder b(n);
+  if (n == 1) return b;
+  // Random attachment: node i attaches to a uniform earlier node.  (This is
+  // a random recursive tree; depth ~ log n, mixed branching factors — good
+  // coverage of the empty-node-selection cases.)
+  Rng rng(seed ^ 0x7ee5eedULL);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    b.addEdge(i, static_cast<NodeId>(rng.below(i)));
+  }
+  return b;
+}
+
+GraphBuilder makeCaterpillar(std::uint32_t spine, std::uint32_t legs) {
+  DISP_REQUIRE(spine >= 1, "caterpillar needs a spine");
+  const std::uint32_t n = spine + spine * legs;
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i + 1 < spine; ++i) b.addEdge(i, i + 1);
+  std::uint32_t next = spine;
+  for (std::uint32_t i = 0; i < spine; ++i)
+    for (std::uint32_t l = 0; l < legs; ++l) b.addEdge(i, next++);
+  return b;
+}
+
+GraphBuilder makeGrid(std::uint32_t rows, std::uint32_t cols) {
+  DISP_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.addEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.addEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b;
+}
+
+GraphBuilder makeHypercube(std::uint32_t dims) {
+  DISP_REQUIRE(dims >= 1 && dims <= 20, "hypercube dims in [1,20]");
+  const std::uint32_t n = 1U << dims;
+  GraphBuilder b(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t d = 0; d < dims; ++d) {
+      const std::uint32_t u = v ^ (1U << d);
+      if (v < u) b.addEdge(v, u);
+    }
+  }
+  return b;
+}
+
+GraphBuilder makeErdosRenyiConnected(std::uint32_t n, double p, std::uint64_t seed) {
+  DISP_REQUIRE(n >= 2, "ER graph needs >= 2 nodes");
+  DISP_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Rng rng(seed ^ 0xe7d05ULL);
+  GraphBuilder b(n);
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (rng.chance(p)) {
+        b.addEdge(i, j);
+        present.insert({i, j});
+      }
+    }
+  }
+  // Connectivity augmentation: union-find over sampled edges, then join
+  // components with random cross edges.
+  std::vector<NodeId> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  const std::function<NodeId(NodeId)> find = [&](NodeId x) -> NodeId {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [u, v] : present) parent[find(u)] = find(v);
+
+  std::map<NodeId, std::vector<NodeId>> comps;
+  for (std::uint32_t i = 0; i < n; ++i) comps[find(i)].push_back(i);
+  while (comps.size() > 1) {
+    auto it = comps.begin();
+    auto& first = it->second;
+    ++it;
+    auto& second = it->second;
+    NodeId u = first[rng.below(first.size())];
+    NodeId v = second[rng.below(second.size())];
+    if (u > v) std::swap(u, v);
+    if (!present.count({u, v})) {
+      b.addEdge(u, v);
+      present.insert({u, v});
+    }
+    // Merge the two components.
+    first.insert(first.end(), second.begin(), second.end());
+    comps.erase(it);
+  }
+  return b;
+}
+
+GraphBuilder makeRandomRegular(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  DISP_REQUIRE(d >= 2 && d < n, "degree must be in [2, n)");
+  DISP_REQUIRE(n * d % 2 == 0, "n*d must be even");
+  Rng rng(seed ^ 0x4e91a4ULL);
+  // Pairing model with full resampling on self-loop / multi-edge / disconnect.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (std::uint32_t v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    std::set<std::pair<NodeId, NodeId>> seen;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      NodeId u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    GraphBuilder b(n);
+    for (const auto& [u, v] : seen) b.addEdge(u, v);
+    // Regular graphs from the pairing model are connected w.h.p. for d>=3;
+    // verify and resample otherwise (d=2 can give disjoint cycles).
+    if (isConnected(b.build())) return b;
+  }
+  throw std::runtime_error("random regular sampling did not converge");
+}
+
+GraphBuilder makeLollipop(std::uint32_t n, std::uint32_t cliqueSize) {
+  DISP_REQUIRE(cliqueSize >= 2 && cliqueSize <= n, "bad lollipop parameters");
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i < cliqueSize; ++i)
+    for (std::uint32_t j = i + 1; j < cliqueSize; ++j) b.addEdge(i, j);
+  for (std::uint32_t i = cliqueSize; i < n; ++i) b.addEdge(i - 1, i);
+  return b;
+}
+
+GraphBuilder makeBarbell(std::uint32_t cliqueSize, std::uint32_t pathLen) {
+  DISP_REQUIRE(cliqueSize >= 2, "barbell cliques need >= 2 nodes");
+  const std::uint32_t n = 2 * cliqueSize + pathLen;
+  GraphBuilder b(n);
+  const std::uint32_t c2 = cliqueSize + pathLen;  // start of second clique
+  for (std::uint32_t i = 0; i < cliqueSize; ++i)
+    for (std::uint32_t j = i + 1; j < cliqueSize; ++j) {
+      b.addEdge(i, j);
+      b.addEdge(c2 + i, c2 + j);
+    }
+  // Path connecting clique 1 (node cliqueSize-1) to clique 2 (node c2).
+  std::uint32_t prev = cliqueSize - 1;
+  for (std::uint32_t i = 0; i < pathLen; ++i) {
+    b.addEdge(prev, cliqueSize + i);
+    prev = cliqueSize + i;
+  }
+  b.addEdge(prev, c2);
+  return b;
+}
+
+bool isConnected(const Graph& g) {
+  const std::uint32_t n = g.nodeCount();
+  if (n == 0) return true;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::uint32_t visited = 1;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++visited;
+        q.push(u);
+      }
+    }
+  }
+  return visited == n;
+}
+
+Graph makeFamily(const GraphSpec& spec) {
+  const std::uint32_t n = spec.n;
+  const std::uint64_t seed = spec.seed;
+  GraphBuilder b(0);
+  if (spec.family == "path") {
+    b = makePath(n);
+  } else if (spec.family == "cycle") {
+    b = makeCycle(n);
+  } else if (spec.family == "star") {
+    b = makeStar(n);
+  } else if (spec.family == "wheel") {
+    b = makeWheel(n);
+  } else if (spec.family == "complete") {
+    b = makeComplete(n);
+  } else if (spec.family == "bipartite") {
+    b = makeCompleteBipartite(n / 2, n - n / 2);
+  } else if (spec.family == "bintree") {
+    b = makeBinaryTree(n);
+  } else if (spec.family == "randtree") {
+    b = makeRandomTree(n, seed);
+  } else if (spec.family == "caterpillar") {
+    const std::uint32_t spine = std::max(1U, n / 4);
+    b = makeCaterpillar(spine, (n - spine) / std::max(1U, spine));
+  } else if (spec.family == "grid") {
+    const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(double(n))));
+    b = makeGrid(std::max(1U, side), std::max(1U, side));
+  } else if (spec.family == "hypercube") {
+    std::uint32_t dims = 1;
+    while ((1U << (dims + 1)) <= n) ++dims;
+    b = makeHypercube(dims);
+  } else if (spec.family == "er") {
+    // Expected degree ~ 2 ln n: safely above the connectivity threshold.
+    const double p = std::min(1.0, 2.0 * std::log(std::max(2.0, double(n))) / double(n));
+    b = makeErdosRenyiConnected(n, p, seed);
+  } else if (spec.family == "regular") {
+    const std::uint32_t d = (n * 4 % 2 == 0) ? 4 : 3;
+    b = makeRandomRegular(std::max(6U, n), d, seed);
+  } else if (spec.family == "lollipop") {
+    b = makeLollipop(n, std::max(2U, n / 2));
+  } else if (spec.family == "barbell") {
+    const std::uint32_t c = std::max(2U, n / 3);
+    b = makeBarbell(c, n - 2 * c);
+  } else {
+    throw std::invalid_argument("unknown graph family: " + spec.family);
+  }
+  return b.build(spec.labeling, seed);
+}
+
+std::vector<std::string> knownFamilies() {
+  return {"path",        "cycle", "star",      "wheel",   "complete",
+          "bipartite",   "bintree", "randtree", "caterpillar", "grid",
+          "hypercube",   "er",    "regular",   "lollipop", "barbell"};
+}
+
+}  // namespace disp

@@ -1,0 +1,69 @@
+#pragma once
+// Graph family generators.  Every generator returns a connected simple
+// graph; all randomness is seed-driven.  These families are the workloads
+// for the Table-1 scaling experiments:
+//
+//   * path / cycle          — the Ω(k) lower-bound instances (§1)
+//   * star / wheel          — maximum-degree stress (Δ = n-1); separates
+//                             O(k) probing from O(Δ)-style probing
+//   * complete / bipartite  — dense instances where the KS baseline pays
+//                             its O(min{m, kΔ}) price
+//   * trees (binary/random/caterpillar) — DFS-tree-shaped instances,
+//                             exercising the empty-node selection cases
+//   * grid / hypercube      — classic bounded-degree topologies
+//   * Erdős–Rényi / random-regular — "arbitrary graph" instances
+//   * lollipop / barbell    — mixed dense+sparse, worst-case-ish traversal
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+struct GraphSpec;
+
+[[nodiscard]] GraphBuilder makePath(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeCycle(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeStar(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeWheel(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeComplete(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeCompleteBipartite(std::uint32_t a, std::uint32_t b);
+[[nodiscard]] GraphBuilder makeBinaryTree(std::uint32_t n);
+[[nodiscard]] GraphBuilder makeRandomTree(std::uint32_t n, std::uint64_t seed);
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant leaves.
+[[nodiscard]] GraphBuilder makeCaterpillar(std::uint32_t spine, std::uint32_t legs);
+[[nodiscard]] GraphBuilder makeGrid(std::uint32_t rows, std::uint32_t cols);
+[[nodiscard]] GraphBuilder makeHypercube(std::uint32_t dims);
+/// Erdős–Rényi G(n, p) conditioned on connectivity: sampled, then augmented
+/// with a uniform spanning-tree edge per disconnected component pair.
+[[nodiscard]] GraphBuilder makeErdosRenyiConnected(std::uint32_t n, double p,
+                                                   std::uint64_t seed);
+/// Random d-regular graph via the pairing model with resampling (requires
+/// n*d even, d < n).
+[[nodiscard]] GraphBuilder makeRandomRegular(std::uint32_t n, std::uint32_t d,
+                                             std::uint64_t seed);
+/// Lollipop: K_c clique glued to a path of n-c nodes.
+[[nodiscard]] GraphBuilder makeLollipop(std::uint32_t n, std::uint32_t cliqueSize);
+/// Barbell: two K_c cliques joined by a path.
+[[nodiscard]] GraphBuilder makeBarbell(std::uint32_t cliqueSize, std::uint32_t pathLen);
+
+/// Named family registry, used by benches/CLI: family(name, n, seed).
+/// Recognized names: path, cycle, star, wheel, complete, bipartite, bintree,
+/// randtree, caterpillar, grid, hypercube, er, regular, lollipop, barbell.
+struct GraphSpec {
+  std::string family;
+  std::uint32_t n = 0;
+  std::uint64_t seed = 0;
+  PortLabeling labeling = PortLabeling::RandomPermutation;
+};
+
+[[nodiscard]] Graph makeFamily(const GraphSpec& spec);
+[[nodiscard]] std::vector<std::string> knownFamilies();
+
+/// True iff the graph is connected (BFS).
+[[nodiscard]] bool isConnected(const Graph& g);
+
+}  // namespace disp

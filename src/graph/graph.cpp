@@ -1,0 +1,133 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/labeling.hpp"
+#include "util/rng.hpp"
+
+namespace disp {
+
+Port Graph::portTo(NodeId v, NodeId u) const {
+  const Port d = degree(v);
+  for (Port p = 1; p <= d; ++p) {
+    if (neighbor(v, p) == u) return p;
+  }
+  return kNoPort;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edgeCount_);
+  for (NodeId v = 0; v < nodeCount(); ++v) {
+    for (Port p = 1; p <= degree(v); ++p) {
+      const NodeId u = neighbor(v, p);
+      if (v <= u) out.push_back({v, u});
+    }
+  }
+  return out;
+}
+
+GraphBuilder& GraphBuilder::addEdge(NodeId u, NodeId v) {
+  DISP_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  DISP_REQUIRE(u != v, "self-loops are not allowed (graph is simple)");
+  edges_.push_back({u, v});
+  return *this;
+}
+
+Graph GraphBuilder::build(PortLabeling labeling, std::uint64_t seed) const {
+  std::vector<Port> deg(n_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return buildWithPorts(assignPorts(n_, edges_, deg, labeling, seed));
+}
+
+Graph GraphBuilder::buildWithPorts(const std::vector<std::pair<Port, Port>>& ports) const {
+  DISP_REQUIRE(ports.size() == edges_.size(), "one port pair per edge required");
+  // Reject duplicate edges (simple graph).
+  {
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (const Edge& e : edges_) {
+      const auto key = std::minmax(e.u, e.v);
+      DISP_REQUIRE(seen.insert({key.first, key.second}).second,
+                   "duplicate edge (graph is simple)");
+    }
+  }
+
+  Graph g;
+  const std::uint32_t n = n_;
+  g.edgeCount_ = edges_.size();
+
+  std::vector<Port> deg(n, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+
+  g.offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.targets_.assign(2 * edges_.size(), kInvalidNode);
+  g.reverse_.assign(2 * edges_.size(), kNoPort);
+  g.maxDegree_ = deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    const auto [pu, pv] = ports[i];
+    DISP_REQUIRE(pu >= 1 && pu <= deg[e.u] && pv >= 1 && pv <= deg[e.v],
+                 "explicit port out of range");
+    DISP_REQUIRE(g.targets_[g.offsets_[e.u] + pu - 1] == kInvalidNode &&
+                     g.targets_[g.offsets_[e.v] + pv - 1] == kInvalidNode,
+                 "explicit ports collide");
+    g.targets_[g.offsets_[e.u] + pu - 1] = e.v;
+    g.targets_[g.offsets_[e.v] + pv - 1] = e.u;
+    g.reverse_[g.offsets_[e.u] + pu - 1] = pv;
+    g.reverse_[g.offsets_[e.v] + pv - 1] = pu;
+  }
+
+  validateGraph(g);
+  return g;
+}
+
+bool satisfiesConstrainedLabeling(const Graph& g) {
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    const Port dv = g.degree(v);
+    for (Port p = 1; p <= dv; ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (v > u) continue;  // each edge once
+      const Port q = g.reversePort(v, p);
+      const Port du = g.degree(u);
+      // A low port (1 or 2) is "exempt" when forced by degree: the paper
+      // permits port 1 when it is the only port, and ports 1-2 when there
+      // are only two ports at the node.
+      const bool lowAtV = p <= 2 && dv >= 3;
+      const bool lowAtU = q <= 2 && du >= 3;
+      if (lowAtV && lowAtU) return false;
+    }
+  }
+  return true;
+}
+
+void validateGraph(const Graph& g) {
+  const std::uint32_t n = g.nodeCount();
+  std::uint64_t halfEdges = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const Port d = g.degree(v);
+    halfEdges += d;
+    std::set<NodeId> seen;
+    for (Port p = 1; p <= d; ++p) {
+      const NodeId u = g.neighbor(v, p);
+      DISP_CHECK(u < n, "dangling neighbor");
+      DISP_CHECK(u != v, "self-loop");
+      DISP_CHECK(seen.insert(u).second, "parallel edge");
+      const Port q = g.reversePort(v, p);
+      DISP_CHECK(q >= 1 && q <= g.degree(u), "reverse port out of range");
+      DISP_CHECK(g.neighbor(u, q) == v, "reverse port does not return");
+      DISP_CHECK(g.reversePort(u, q) == p, "reverse port not symmetric");
+    }
+  }
+  DISP_CHECK(halfEdges == 2 * g.edgeCount(), "edge count mismatch");
+}
+
+}  // namespace disp

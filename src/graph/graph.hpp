@@ -1,0 +1,131 @@
+#pragma once
+// Anonymous, port-labeled, simple undirected graph (the paper's §2 model).
+//
+// Nodes carry no identifiers visible to agents and store nothing.  The only
+// structure an agent may use is: the degree of its current node, and the
+// locally distinct port numbers 1..δ_v on the incident edges.  NodeId exists
+// purely as engine bookkeeping; protocol code never branches on it.
+//
+// Storage is CSR: neighbor(v, p) is an O(1) lookup, and reversePort(v, p)
+// precomputes p_u(v) so the engine can set an arriving agent's `pin`.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+using NodeId = std::uint32_t;
+using Port = std::uint32_t;
+
+/// The paper's ⊥ port (no port / root parent / unset).
+inline constexpr Port kNoPort = 0;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge between two node indices (u < v is not required).
+struct Edge {
+  NodeId u;
+  NodeId v;
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::uint32_t nodeCount() const noexcept {
+    return static_cast<std::uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t edgeCount() const noexcept { return edgeCount_; }
+
+  [[nodiscard]] Port degree(NodeId v) const {
+    DISP_DCHECK(v < nodeCount(), "node out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] Port maxDegree() const noexcept { return maxDegree_; }
+
+  /// Neighbor N(v, p) for p in [1, degree(v)].
+  [[nodiscard]] NodeId neighbor(NodeId v, Port p) const {
+    DISP_DCHECK(v < nodeCount(), "node out of range");
+    DISP_DCHECK(p >= 1 && p <= degree(v), "port out of range");
+    return targets_[offsets_[v] + p - 1];
+  }
+
+  /// The port at neighbor(v, p) that leads back to v, i.e. p_u(v).
+  [[nodiscard]] Port reversePort(NodeId v, Port p) const {
+    DISP_DCHECK(v < nodeCount(), "node out of range");
+    DISP_DCHECK(p >= 1 && p <= degree(v), "port out of range");
+    return reverse_[offsets_[v] + p - 1];
+  }
+
+  /// All neighbors of v in port order (port p = index + 1).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    DISP_DCHECK(v < nodeCount(), "node out of range");
+    return {targets_.data() + offsets_[v], static_cast<std::size_t>(degree(v))};
+  }
+
+  /// Port at v leading to u, or kNoPort if not adjacent.  O(δ_v).
+  [[nodiscard]] Port portTo(NodeId v, NodeId u) const;
+
+  /// Undirected edge list (each edge once, u <= v).
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::uint32_t> offsets_;  // size n+1
+  std::vector<NodeId> targets_;         // size 2m, port-ordered
+  std::vector<Port> reverse_;           // size 2m
+  std::uint64_t edgeCount_ = 0;
+  Port maxDegree_ = 0;
+};
+
+/// How ports are assigned when a Graph is materialized from an edge list.
+enum class PortLabeling {
+  InsertionOrder,  ///< ports follow edge-list order (deterministic, simple)
+  RandomPermutation,  ///< independent uniform permutation per node (default in experiments)
+  Constrained,  ///< §8.2 assumption: no edge may have port pair in {1,2}×{1,2}
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t nodeCount) : n_(nodeCount) {}
+
+  /// Adds an undirected edge; rejects self-loops and duplicates.
+  GraphBuilder& addEdge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::uint32_t nodeCount() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Materializes the CSR graph with the requested labeling. `seed` drives
+  /// the permutations for RandomPermutation / Constrained.
+  [[nodiscard]] Graph build(PortLabeling labeling = PortLabeling::InsertionOrder,
+                            std::uint64_t seed = 0) const;
+
+  /// Materializes the CSR graph with explicit ports: ports[i] = (port at
+  /// edges()[i].u, port at edges()[i].v).  Ports must form the permutation
+  /// 1..δ at every node.  Used by graph I/O to reproduce labelings exactly
+  /// (not every valid labeling is reachable by insertion order).
+  [[nodiscard]] Graph buildWithPorts(
+      const std::vector<std::pair<Port, Port>>& ports) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<Edge> edges_;
+};
+
+/// True iff the port labeling satisfies the §8.2 assumption: for every edge
+/// (u,v), the pair (p_u(v), p_v(u)) is not in {1,2}×{1,2} — except that a
+/// port is exempt when it is forced by low degree (port 1 at a degree-1
+/// node; ports 1-2 at a degree-2 node).
+[[nodiscard]] bool satisfiesConstrainedLabeling(const Graph& g);
+
+/// Structural sanity: CSR consistency, symmetric reverse ports, simplicity.
+/// Throws std::logic_error on violation; used by tests.
+void validateGraph(const Graph& g);
+
+}  // namespace disp

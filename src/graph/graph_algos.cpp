@@ -1,0 +1,82 @@
+#include "graph/graph_algos.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stack>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+std::vector<std::uint32_t> bfsDistances(const Graph& g, NodeId src) {
+  DISP_REQUIRE(src < g.nodeCount(), "source out of range");
+  std::vector<std::uint32_t> dist(g.nodeCount(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    const auto dist = bfsDistances(g, v);
+    for (const std::uint32_t d : dist) {
+      DISP_REQUIRE(d != kUnreachable, "diameter of disconnected graph");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+NodeId peripheralNode(const Graph& g) {
+  DISP_REQUIRE(g.nodeCount() > 0, "empty graph");
+  NodeId best = 0;
+  std::uint32_t bestEcc = 0;
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    const auto dist = bfsDistances(g, v);
+    std::uint32_t ecc = 0;
+    for (const std::uint32_t d : dist) {
+      if (d != kUnreachable) ecc = std::max(ecc, d);
+    }
+    if (ecc > bestEcc) {
+      bestEcc = ecc;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> portOrderDfsTree(const Graph& g, NodeId src) {
+  DISP_REQUIRE(src < g.nodeCount(), "source out of range");
+  std::vector<NodeId> parent(g.nodeCount(), kInvalidNode);
+  parent[src] = src;
+  std::stack<std::pair<NodeId, Port>> stack;  // (node, next port to try)
+  stack.push({src, 1});
+  while (!stack.empty()) {
+    auto& [v, p] = stack.top();
+    if (p > g.degree(v)) {
+      stack.pop();
+      continue;
+    }
+    const NodeId u = g.neighbor(v, p);
+    ++p;
+    if (parent[u] == kInvalidNode) {
+      parent[u] = v;
+      stack.push({u, 1});
+    }
+  }
+  return parent;
+}
+
+}  // namespace disp

@@ -1,0 +1,28 @@
+#pragma once
+// Centralized graph algorithms used by tests, workload generation and the
+// experiment harness (these are *not* part of the agent protocols — agents
+// never get global views).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// BFS distances from src; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+[[nodiscard]] std::vector<std::uint32_t> bfsDistances(const Graph& g, NodeId src);
+
+/// Graph diameter (max eccentricity); O(n·m) — fine at experiment scale.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// A node of maximum eccentricity (one end of a "longest shortest path").
+[[nodiscard]] NodeId peripheralNode(const Graph& g);
+
+/// Parent array of a DFS tree rooted at src following increasing port
+/// numbers (the traversal order every protocol in the paper induces on a
+/// fresh graph).  parent[src] = src.
+[[nodiscard]] std::vector<NodeId> portOrderDfsTree(const Graph& g, NodeId src);
+
+}  // namespace disp

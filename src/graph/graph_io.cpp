@@ -1,0 +1,91 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+void writeGraph(std::ostream& os, const Graph& g) {
+  os << "dpg " << g.nodeCount() << ' ' << g.edgeCount() << '\n';
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      const NodeId u = g.neighbor(v, p);
+      if (v <= u) {
+        os << v << ' ' << p << ' ' << u << ' ' << g.reversePort(v, p) << '\n';
+      }
+    }
+  }
+}
+
+Graph readGraph(std::istream& is) {
+  std::string magic;
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  is >> magic >> n >> m;
+  DISP_REQUIRE(magic == "dpg", "bad graph header");
+
+  struct Rec {
+    NodeId u;
+    Port pu;
+    NodeId v;
+    Port pv;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Rec r{};
+    is >> r.u >> r.pu >> r.v >> r.pv;
+    DISP_REQUIRE(static_cast<bool>(is), "truncated graph file");
+    DISP_REQUIRE(r.u < n && r.v < n, "node out of range in graph file");
+    recs.push_back(r);
+  }
+
+  // Degrees are implied by the maximum port mentioned at each node; ports
+  // must then form exactly the permutation 1..deg at every node.
+  std::vector<Port> deg(n, 0);
+  for (const Rec& r : recs) {
+    deg[r.u] = std::max(deg[r.u], r.pu);
+    deg[r.v] = std::max(deg[r.v], r.pv);
+  }
+  {
+    std::vector<std::vector<std::uint8_t>> seen(n);
+    for (NodeId v = 0; v < n; ++v) seen[v].assign(deg[v] + 1, 0);
+    auto mark = [&](NodeId at, Port p) {
+      DISP_REQUIRE(p >= 1 && p <= deg[at], "port out of range in file");
+      DISP_REQUIRE(!seen[at][p], "duplicate port in file");
+      seen[at][p] = 1;
+    };
+    for (const Rec& r : recs) {
+      mark(r.u, r.pu);
+      mark(r.v, r.pv);
+    }
+    for (NodeId v = 0; v < n; ++v)
+      for (Port p = 1; p <= deg[v]; ++p) DISP_REQUIRE(seen[v][p], "missing port in file");
+  }
+
+  GraphBuilder b(n);
+  std::vector<std::pair<Port, Port>> ports;
+  ports.reserve(recs.size());
+  for (const Rec& r : recs) {
+    b.addEdge(r.u, r.v);
+    ports.emplace_back(r.pu, r.pv);
+  }
+  return b.buildWithPorts(ports);
+}
+
+void saveGraph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  DISP_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  writeGraph(os, g);
+}
+
+Graph loadGraph(const std::string& path) {
+  std::ifstream is(path);
+  DISP_REQUIRE(is.good(), "cannot open file for reading: " + path);
+  return readGraph(is);
+}
+
+}  // namespace disp

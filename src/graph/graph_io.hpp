@@ -1,0 +1,24 @@
+#pragma once
+// Text serialization for graphs.  Format ("dpg" — dispersion port graph):
+//
+//   dpg <n> <m>
+//   <u> <pu> <v> <pv>      (one line per edge; ports preserved exactly)
+//
+// Round-tripping preserves the port labeling, which matters: an algorithm's
+// trajectory depends on port numbers, so experiments can be archived and
+// replayed bit-for-bit.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+void writeGraph(std::ostream& os, const Graph& g);
+[[nodiscard]] Graph readGraph(std::istream& is);
+
+void saveGraph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph loadGraph(const std::string& path);
+
+}  // namespace disp

@@ -1,0 +1,23 @@
+#pragma once
+// Port-label assignment strategies (see Graph::PortLabeling).
+//
+// The Constrained strategy implements the §8.2 model assumption needed by
+// the ASYNC general algorithm: for any edge (u,v), the two ports must not be
+// labelled (1,1), (1,2), (2,1) or (2,2), except where low degree forces a
+// low port (degree-1 nodes only have port 1; degree-2 nodes only ports 1,2).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace disp {
+
+/// For each edge i, returns (port at edges[i].u, port at edges[i].v).
+/// deg[v] is the degree of v (consistent with `edges`).
+[[nodiscard]] std::vector<std::pair<Port, Port>> assignPorts(
+    std::uint32_t nodeCount, const std::vector<Edge>& edges,
+    const std::vector<Port>& deg, PortLabeling labeling, std::uint64_t seed);
+
+}  // namespace disp

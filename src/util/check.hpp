@@ -1,0 +1,52 @@
+#pragma once
+// Runtime contract checking.
+//
+// DISP_REQUIRE  — precondition on public API input; always on; throws
+//                 std::invalid_argument so callers can test misuse.
+// DISP_CHECK    — internal invariant; always on; throws std::logic_error.
+//                 These guard protocol invariants (e.g. "every empty tree
+//                 node has a coverer") that must hold for the simulation to
+//                 be meaningful, so they stay on in release builds.
+// DISP_DCHECK   — heavyweight invariant only checked in debug builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace disp::detail {
+
+[[noreturn]] inline void failRequire(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void failCheck(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace disp::detail
+
+#define DISP_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::disp::detail::failRequire(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define DISP_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) ::disp::detail::failCheck(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DISP_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#else
+#define DISP_DCHECK(expr, msg) DISP_CHECK(expr, msg)
+#endif

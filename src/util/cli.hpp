@@ -1,0 +1,29 @@
+#pragma once
+// Minimal command-line flag parsing for benches and examples.
+// Accepts `--key=value` and `--flag`; anything else is a positional.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace disp {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t integer(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double real(const std::string& key, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace disp

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace disp {
+
+namespace {
+std::atomic<int> gLevel{static_cast<int>(LogLevel::Warn)};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { gLevel.store(static_cast<int>(level)); }
+LogLevel logLevel() noexcept { return static_cast<LogLevel>(gLevel.load()); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << "[disp:" << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace disp

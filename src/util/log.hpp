@@ -1,0 +1,33 @@
+#pragma once
+// Leveled stderr logging.  Default level is Warn so simulations stay quiet;
+// tests and debugging sessions can raise it.
+
+#include <sstream>
+#include <string>
+
+namespace disp {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+#define DISP_LOG(level, expr)                                            \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::disp::logLevel())) { \
+      std::ostringstream _disp_os;                                       \
+      _disp_os << expr;                                                  \
+      ::disp::detail::emit(level, _disp_os.str());                       \
+    }                                                                    \
+  } while (false)
+
+#define DISP_INFO(expr) DISP_LOG(::disp::LogLevel::Info, expr)
+#define DISP_WARN(expr) DISP_LOG(::disp::LogLevel::Warn, expr)
+#define DISP_DEBUG(expr) DISP_LOG(::disp::LogLevel::Debug, expr)
+
+}  // namespace disp

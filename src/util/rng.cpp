@@ -1,0 +1,8 @@
+#include "util/rng.hpp"
+
+// Header-only; this TU exists so the component owns a translation unit and
+// odr-uses the inline definitions once.
+namespace disp {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+}  // namespace disp

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double ss = 0.0;
+  for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1 ? std::sqrt(ss / static_cast<double>(sorted.size() - 1)) : 0.0;
+  return s;
+}
+
+LinearFit fitLinear(std::span<const double> x, std::span<const double> y) {
+  DISP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  DISP_REQUIRE(x.size() >= 2, "need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) return f;  // degenerate: vertical line
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double meanY = sy / n;
+  double ssRes = 0, ssTot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.intercept + f.slope * x[i];
+    ssRes += (y[i] - pred) * (y[i] - pred);
+    ssTot += (y[i] - meanY) * (y[i] - meanY);
+  }
+  f.r2 = ssTot > 0 ? 1.0 - ssRes / ssTot : 1.0;
+  return f;
+}
+
+PowerFit fitPower(std::span<const double> x, std::span<const double> y) {
+  DISP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  PowerFit p;
+  if (lx.size() < 2) return p;
+  const LinearFit f = fitLinear(lx, ly);
+  p.coeff = std::exp(f.intercept);
+  p.exponent = f.slope;
+  p.r2 = f.r2;
+  return p;
+}
+
+GrowthDiagnosis diagnoseGrowth(std::span<const double> k, std::span<const double> y) {
+  DISP_REQUIRE(k.size() == y.size() && !k.empty(), "bad growth sample");
+  GrowthDiagnosis d;
+  d.power = fitPower(k, y);
+  const auto klogk = [](double kk) { return kk * std::log2(std::max(2.0, kk)); };
+  d.ratioLinearSmall = y.front() / k.front();
+  d.ratioLinearLarge = y.back() / k.back();
+  d.ratioKLogKSmall = y.front() / klogk(k.front());
+  d.ratioKLogKLarge = y.back() / klogk(k.back());
+  return d;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace disp

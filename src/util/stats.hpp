@@ -1,0 +1,61 @@
+#pragma once
+// Small statistics toolkit used by the experiment harness: summary
+// statistics and least-squares fits against the growth models the paper's
+// Table 1 predicts (linear k, k·log k, and min{m, kΔ}).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace disp {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Ordinary least squares fit y ≈ a + b·x. r2 is the coefficient of
+/// determination (1 = perfect fit).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+[[nodiscard]] LinearFit fitLinear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y ≈ c · x^p by regressing log y on log x; returns (c, p, r2).
+struct PowerFit {
+  double coeff = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+
+[[nodiscard]] PowerFit fitPower(std::span<const double> x, std::span<const double> y);
+
+/// Growth-model diagnosis used by EXPERIMENTS.md: given (k, y) pairs,
+/// report the fitted exponent of y ~ k^p, and the ratios y/k and
+/// y/(k·log2 k) at the largest k (flat ratios indicate the matching model).
+struct GrowthDiagnosis {
+  PowerFit power;
+  double ratioLinearSmall = 0.0;  ///< y/k at smallest k
+  double ratioLinearLarge = 0.0;  ///< y/k at largest k
+  double ratioKLogKSmall = 0.0;   ///< y/(k log2 k) at smallest k
+  double ratioKLogKLarge = 0.0;   ///< y/(k log2 k) at largest k
+};
+
+[[nodiscard]] GrowthDiagnosis diagnoseGrowth(std::span<const double> k,
+                                             std::span<const double> y);
+
+/// Convenience: format a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace disp

@@ -1,0 +1,170 @@
+// End-to-end tests for RootedAsyncDisp (Theorem 7.1): dispersion under
+// every scheduler, the O(k log k) epoch shape, guest recruitment/see-off
+// accounting, and the O(log(k+Δ)) memory bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/async_rooted.hpp"
+#include "algo/placement.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace disp {
+namespace {
+
+struct Case {
+  std::string family;
+  std::uint32_t n;
+  std::uint32_t k;
+  std::string scheduler;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.family + "_k" + std::to_string(info.param.k) + "_" +
+         info.param.scheduler;
+}
+
+struct RunOut {
+  RunOut(const Graph& g, std::uint32_t k, const std::string& sched, std::uint64_t seed)
+      : placement(rootedPlacement(g, k, 0, seed)),
+        engine(g, placement.positions, placement.ids,
+               makeSchedulerByName(sched, k, seed * 31 + 5)),
+        algo(engine) {
+    algo.start();
+    engine.run(/*maxActivations=*/80000000ULL);
+  }
+  Placement placement;
+  AsyncEngine engine;
+  RootedAsyncDispersion algo;
+};
+
+class AsyncRootedTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AsyncRootedTest, Disperses) {
+  const auto& [family, n, k, sched] = GetParam();
+  const Graph g = makeFamily({family, n, 77});
+  RunOut run(g, k, sched, 3);
+  EXPECT_TRUE(run.algo.dispersed()) << family << "/" << sched;
+  EXPECT_TRUE(isDispersed(run.engine.positionsSnapshot()));
+  EXPECT_EQ(run.algo.stats().forwardMoves, k - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSchedulers, AsyncRootedTest,
+    ::testing::Values(Case{"path", 48, 48, "round_robin"},
+                      Case{"path", 48, 48, "uniform"},
+                      Case{"path", 48, 17, "weighted"},
+                      Case{"cycle", 40, 40, "shuffled"},
+                      Case{"star", 60, 60, "uniform"},
+                      Case{"star", 60, 25, "round_robin"},
+                      Case{"complete", 24, 24, "uniform"},
+                      Case{"bintree", 63, 63, "shuffled"},
+                      Case{"randtree", 60, 60, "uniform"},
+                      Case{"grid", 49, 49, "weighted"},
+                      Case{"er", 64, 64, "uniform"},
+                      Case{"er", 64, 29, "shuffled"},
+                      Case{"regular", 48, 48, "uniform"},
+                      Case{"lollipop", 30, 30, "shuffled"},
+                      Case{"hypercube", 32, 32, "uniform"},
+                      Case{"wheel", 36, 36, "weighted"},
+                      Case{"barbell", 30, 30, "uniform"},
+                      Case{"caterpillar", 48, 48, "uniform"}),
+    caseName);
+
+TEST(AsyncRooted, TinyKValues) {
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    const Graph g = makeFamily({"er", 20, 5});
+    RunOut run(g, k, "uniform", k);
+    EXPECT_TRUE(run.algo.dispersed()) << "k=" << k;
+  }
+}
+
+TEST(AsyncRooted, GuestsAreRecruitedOnDenseGraphs) {
+  // On a clique every probe of an occupied neighbor recruits a guest; the
+  // doubling mechanism must kick in.
+  const Graph g = makeComplete(24).build();
+  RunOut run(g, 24, "uniform", 9);
+  ASSERT_TRUE(run.algo.dispersed());
+  EXPECT_GT(run.algo.stats().guestsRecruited, 0u);
+  EXPECT_GT(run.algo.stats().seeOffSweeps, 0u);
+}
+
+TEST(AsyncRooted, ProbeIterationsLogarithmicOnStar) {
+  // At the star hub with j settled leaves, finding an empty leaf takes
+  // O(log j) iterations; summed over the run this stays well below the
+  // sequential KS cost (which would be Θ(k) probes per step, Θ(k²) total).
+  const std::uint32_t k = 64;
+  const Graph g = makeStar(4 * k).build();
+  RunOut run(g, k, "round_robin", 4);
+  ASSERT_TRUE(run.algo.dispersed());
+  const double perStep = static_cast<double>(run.algo.stats().probeIterations) /
+                         static_cast<double>(run.algo.stats().probes);
+  EXPECT_LE(perStep, 2.0 + std::log2(static_cast<double>(k)));
+}
+
+TEST(AsyncRooted, EpochsNearKLogK) {
+  // Epoch count grows like k·log k (the paper's headline): the ratio
+  // epochs/(k·log2 k) must not grow as k doubles.
+  const Graph g = makeFamily({"er", 400, 13});
+  double prev = 0;
+  for (std::uint32_t k : {32u, 64u, 128u}) {
+    RunOut run(g, k, "round_robin", 6);
+    ASSERT_TRUE(run.algo.dispersed()) << k;
+    const double ratio = static_cast<double>(run.engine.epochs()) /
+                         (k * std::log2(static_cast<double>(k)));
+    if (prev > 0) EXPECT_LT(ratio, prev * 1.6) << "k=" << k;
+    prev = ratio;
+  }
+}
+
+TEST(AsyncRooted, MemoryLogarithmic) {
+  const Graph g = makeFamily({"er", 200, 15});
+  RunOut run(g, 128, "uniform", 8);
+  ASSERT_TRUE(run.algo.dispersed());
+  const auto w = BitWidths::forRun(4ULL * 128, g.maxDegree(), 128);
+  EXPECT_LE(run.engine.memory().maxBits(), 32ULL * (w.id + w.port + w.count));
+}
+
+TEST(AsyncRooted, DeterministicUnderRoundRobin) {
+  const Graph g = makeFamily({"grid", 49, 3});
+  std::uint64_t first = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    RunOut run(g, 40, "round_robin", 11);
+    ASSERT_TRUE(run.algo.dispersed());
+    if (rep == 0) {
+      first = run.engine.epochs();
+    } else {
+      EXPECT_EQ(run.engine.epochs(), first);
+    }
+  }
+}
+
+TEST(AsyncRooted, ManySchedulerSeeds) {
+  // Interleaving fuzz: the uniform scheduler with different seeds produces
+  // different activation orders; dispersion must hold for all of them.
+  const Graph g = makeFamily({"er", 40, 23});
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOut run(g, 32, "uniform", seed);
+    EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;
+  }
+}
+
+TEST(AsyncRooted, FullOccupancyOnTree) {
+  const Graph g = makeRandomTree(40, 3).build();
+  RunOut run(g, 40, "shuffled", 2);
+  ASSERT_TRUE(run.algo.dispersed());
+  auto pos = run.engine.positionsSnapshot();
+  std::sort(pos.begin(), pos.end());
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(pos[v], v);
+}
+
+TEST(AsyncRooted, RejectsGeneralPlacement) {
+  const Graph g = makePath(10).build();
+  const Placement p = clusteredPlacement(g, 4, 2, 3);
+  AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(4));
+  EXPECT_THROW(RootedAsyncDispersion{engine}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace disp

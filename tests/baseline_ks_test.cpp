@@ -1,0 +1,209 @@
+// End-to-end tests for the KS group-DFS baseline on both engines:
+// dispersion correctness across graph families, k values and schedulers,
+// plus the O(min{m, kΔ}) time shape.
+#include <gtest/gtest.h>
+
+#include "algo/baseline_ks.hpp"
+#include "algo/placement.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace disp {
+namespace {
+
+struct Case {
+  std::string family;
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.family + "_n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k);
+}
+
+class KsSyncTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(KsSyncTest, DispersesRooted) {
+  const auto& [family, n, k] = GetParam();
+  const Graph g = makeFamily({family, n, 42});
+  const Placement p = rootedPlacement(g, k, 0, 7);
+  SyncEngine engine(g, p.positions, p.ids);
+  KsSyncDispersion algo(engine);
+  algo.start();
+  engine.run(/*maxRounds=*/40ULL * (g.edgeCount() + 16) + 1000);
+  EXPECT_TRUE(algo.dispersed()) << family;
+  EXPECT_TRUE(isDispersed(engine.positionsSnapshot())) << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KsSyncTest,
+    ::testing::Values(Case{"path", 64, 64}, Case{"path", 64, 17}, Case{"cycle", 48, 48},
+                      Case{"star", 50, 50}, Case{"star", 50, 9},
+                      Case{"complete", 24, 24}, Case{"bintree", 63, 40},
+                      Case{"randtree", 80, 80}, Case{"grid", 49, 30},
+                      Case{"er", 60, 60}, Case{"regular", 48, 48},
+                      Case{"lollipop", 30, 30}, Case{"hypercube", 32, 32},
+                      Case{"wheel", 30, 12}, Case{"bipartite", 30, 30}),
+    caseName);
+
+TEST(KsSync, SingleAgentSettlesInstantly) {
+  const Graph g = makePath(5).build();
+  const Placement p = rootedPlacement(g, 1, 2, 1);
+  SyncEngine engine(g, p.positions, p.ids);
+  KsSyncDispersion algo(engine);
+  algo.start();
+  engine.run(10);
+  EXPECT_TRUE(algo.dispersed());
+  EXPECT_EQ(engine.round(), 0u);  // no movement needed
+}
+
+TEST(KsSync, TwoAgentsOneEdge) {
+  const Graph g = makePath(2).build();
+  const Placement p = rootedPlacement(g, 2, 0, 1);
+  SyncEngine engine(g, p.positions, p.ids);
+  KsSyncDispersion algo(engine);
+  algo.start();
+  engine.run(20);
+  EXPECT_TRUE(algo.dispersed());
+}
+
+TEST(KsSync, FullOccupancyEqualsNodeCount) {
+  // k == n on a tree: every node ends occupied.
+  const Graph g = makeRandomTree(40, 9).build();
+  const Placement p = rootedPlacement(g, 40, 0, 2);
+  SyncEngine engine(g, p.positions, p.ids);
+  KsSyncDispersion algo(engine);
+  algo.start();
+  engine.run(100000);
+  EXPECT_TRUE(algo.dispersed());
+  auto pos = engine.positionsSnapshot();
+  std::sort(pos.begin(), pos.end());
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(pos[v], v);
+}
+
+TEST(KsSync, TimeLinearInKOnPath) {
+  // On a (long) path with k agents at one end the DFS is a straight walk:
+  // rounds must scale ~linearly in k, independent of n.
+  const Graph g = makePath(600).build();
+  std::uint64_t r64 = 0, r256 = 0;
+  for (std::uint32_t k : {64u, 256u}) {
+    const Placement p = rootedPlacement(g, k, 0, 3);
+    SyncEngine engine(g, p.positions, p.ids);
+    KsSyncDispersion algo(engine);
+    algo.start();
+    engine.run(1000000);
+    (k == 64 ? r64 : r256) = engine.round();
+  }
+  EXPECT_GT(r256, r64);
+  EXPECT_LT(r256, 6 * r64);  // ~4x expected for 4x agents
+}
+
+TEST(KsSync, MemoryIsLogarithmic) {
+  const Graph g = makeFamily({"er", 128, 5});
+  const Placement p = rootedPlacement(g, 128, 0, 5);
+  SyncEngine engine(g, p.positions, p.ids);
+  KsSyncDispersion algo(engine);
+  algo.start();
+  engine.run(1000000);
+  // O(log(k+Δ)) bits: generous constant of 8 words of log-size.
+  const auto w = BitWidths::forRun(4 * 128, g.maxDegree(), 128);
+  EXPECT_LE(engine.memory().maxBits(), 8ULL * (w.id + w.port + w.count));
+  EXPECT_GT(engine.memory().maxBits(), 0u);
+}
+
+TEST(KsSync, RejectsGeneralPlacement) {
+  const Graph g = makePath(8).build();
+  const Placement p = clusteredPlacement(g, 4, 2, 3);
+  SyncEngine engine(g, p.positions, p.ids);
+  EXPECT_THROW(KsSyncDispersion{engine}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- ASYNC
+
+struct AsyncCase {
+  std::string family;
+  std::uint32_t n;
+  std::uint32_t k;
+  std::string scheduler;
+};
+
+std::string asyncCaseName(const ::testing::TestParamInfo<AsyncCase>& info) {
+  return info.param.family + "_k" + std::to_string(info.param.k) + "_" +
+         info.param.scheduler;
+}
+
+class KsAsyncTest : public ::testing::TestWithParam<AsyncCase> {};
+
+TEST_P(KsAsyncTest, DispersesRootedUnderScheduler) {
+  const auto& [family, n, k, sched] = GetParam();
+  const Graph g = makeFamily({family, n, 21});
+  const Placement p = rootedPlacement(g, k, 0, 13);
+  AsyncEngine engine(g, p.positions, p.ids, makeSchedulerByName(sched, k, 77));
+  KsAsyncDispersion algo(engine);
+  algo.start();
+  engine.run(/*maxActivations=*/2000000ULL);
+  EXPECT_TRUE(algo.dispersed()) << family << "/" << sched;
+  EXPECT_TRUE(isDispersed(engine.positionsSnapshot()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSchedulers, KsAsyncTest,
+    ::testing::Values(AsyncCase{"path", 40, 40, "round_robin"},
+                      AsyncCase{"path", 40, 40, "uniform"},
+                      AsyncCase{"star", 40, 40, "shuffled"},
+                      AsyncCase{"star", 40, 17, "weighted"},
+                      AsyncCase{"er", 48, 48, "uniform"},
+                      AsyncCase{"er", 48, 20, "weighted"},
+                      AsyncCase{"complete", 20, 20, "uniform"},
+                      AsyncCase{"grid", 36, 36, "shuffled"},
+                      AsyncCase{"randtree", 50, 50, "uniform"},
+                      AsyncCase{"cycle", 30, 30, "weighted"},
+                      AsyncCase{"lollipop", 24, 24, "uniform"},
+                      AsyncCase{"bintree", 31, 31, "shuffled"}),
+    asyncCaseName);
+
+TEST(KsAsync, SingleAgent) {
+  const Graph g = makePath(4).build();
+  const Placement p = rootedPlacement(g, 1, 1, 1);
+  AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(1));
+  KsAsyncDispersion algo(engine);
+  algo.start();
+  engine.run(100);
+  EXPECT_TRUE(algo.dispersed());
+}
+
+TEST(KsAsync, DeterministicUnderRoundRobin) {
+  // Same seed + round-robin scheduler => identical epoch counts.
+  const Graph g = makeFamily({"er", 40, 31});
+  std::uint64_t first = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const Placement p = rootedPlacement(g, 40, 0, 9);
+    AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(40));
+    KsAsyncDispersion algo(engine);
+    algo.start();
+    engine.run(2000000);
+    if (rep == 0) {
+      first = engine.epochs();
+    } else {
+      EXPECT_EQ(engine.epochs(), first);
+    }
+  }
+}
+
+TEST(KsAsync, EpochsBoundedByEdgeWork) {
+  // O(min{m, kΔ}) epochs with a moderate constant.
+  const Graph g = makeFamily({"er", 64, 3});
+  const std::uint32_t k = 64;
+  const Placement p = rootedPlacement(g, k, 0, 3);
+  AsyncEngine engine(g, p.positions, p.ids, makeShuffledSweepScheduler(k, 5));
+  KsAsyncDispersion algo(engine);
+  algo.start();
+  engine.run(20000000ULL);
+  const std::uint64_t bound =
+      std::min<std::uint64_t>(g.edgeCount(), std::uint64_t{k} * g.maxDegree());
+  EXPECT_LE(engine.epochs(), 30 * bound + 100);
+}
+
+}  // namespace
+}  // namespace disp

@@ -1,0 +1,349 @@
+// Tests for the simulation core: world moves/pin semantics, SYNC rounds and
+// fiber scheduling, ASYNC activations and the epoch counter, schedulers,
+// memory ledger, placements.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algo/placement.hpp"
+#include "core/async_engine.hpp"
+#include "core/fiber.hpp"
+#include "core/memory.hpp"
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+#include "core/sync_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace disp {
+namespace {
+
+std::vector<AgentId> seqIds(std::uint32_t k) {
+  std::vector<AgentId> ids(k);
+  for (std::uint32_t i = 0; i < k; ++i) ids[i] = i + 1;
+  return ids;
+}
+
+// ------------------------------------------------------------------ world
+
+TEST(World, RejectsBadConstruction) {
+  const Graph g = makePath(3).build();
+  EXPECT_THROW(World(g, {}, {}), std::invalid_argument);                 // no agents
+  EXPECT_THROW(World(g, {0, 1}, {1}), std::invalid_argument);           // size mismatch
+  EXPECT_THROW(World(g, {0, 0, 0, 0}, seqIds(4)), std::invalid_argument);  // k > n
+  EXPECT_THROW(World(g, {0, 1}, {5, 5}), std::invalid_argument);        // dup ids
+  EXPECT_THROW(World(g, {7, 0}, seqIds(2)), std::invalid_argument);     // bad node
+}
+
+TEST(World, MoveUpdatesPinAndOccupancy) {
+  const Graph g = makePath(3).build();
+  World w(g, {0, 0}, seqIds(2));
+  EXPECT_EQ(w.pinOf(0), kNoPort);
+  w.applyMove(0, 1);  // 0 -> 1
+  EXPECT_EQ(w.positionOf(0), 1u);
+  EXPECT_EQ(w.pinOf(0), g.reversePort(0, 1));
+  EXPECT_EQ(w.agentsAt(0).size(), 1u);
+  EXPECT_EQ(w.agentsAt(1).size(), 1u);
+  EXPECT_EQ(w.totalMoves(), 1u);
+  // Return trip restores co-location.
+  w.applyMove(0, w.pinOf(0));
+  EXPECT_EQ(w.positionOf(0), 0u);
+  EXPECT_EQ(w.agentsAt(0).size(), 2u);
+}
+
+TEST(World, RejectsInvalidPort) {
+  const Graph g = makePath(3).build();
+  World w(g, {0}, seqIds(1));
+  EXPECT_THROW(w.applyMove(0, 0), std::invalid_argument);
+  EXPECT_THROW(w.applyMove(0, 2), std::invalid_argument);  // endpoint has degree 1
+}
+
+// ------------------------------------------------------------ sync engine
+
+// A fiber that walks one agent to the end of a path, one edge per round.
+Task walkRight(SyncEngine& e, AgentIx a, std::uint32_t steps) {
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    const NodeId at = e.positionOf(a);
+    // On a path built in insertion order, the "right" port is 2 internally,
+    // 1 at the left endpoint.
+    const Port p = (at == 0) ? 1 : 2;
+    e.stageMove(a, p);
+    co_await e.nextRound();
+  }
+}
+
+TEST(SyncEngine, MovesCommitPerRound) {
+  const Graph g = makePath(6).build();
+  SyncEngine e(g, {0}, seqIds(1));
+  e.addFiber(walkRight(e, 0, 5));
+  e.run(100);
+  EXPECT_EQ(e.positionOf(0), 5u);
+  EXPECT_EQ(e.round(), 5u);
+  EXPECT_EQ(e.totalMoves(), 5u);
+}
+
+Task meetInMiddle(SyncEngine& e, AgentIx left, AgentIx right, bool& met) {
+  // left starts at 0, right at 2 on a path of 3; they swap toward node 1.
+  e.stageMove(left, 1);
+  e.stageMove(right, 1);
+  co_await e.nextRound();
+  met = e.agentsAt(1).size() == 2;
+}
+
+TEST(SyncEngine, SimultaneousMovesMeet) {
+  const Graph g = makePath(3).build();
+  SyncEngine e(g, {0, 2}, seqIds(2));
+  bool met = false;
+  e.addFiber(meetInMiddle(e, 0, 1, met));
+  e.run(10);
+  EXPECT_TRUE(met);
+}
+
+Task doubleStage(SyncEngine& e, AgentIx a) {
+  e.stageMove(a, 1);
+  e.stageMove(a, 1);  // must throw
+  co_await e.nextRound();
+}
+
+TEST(SyncEngine, DoubleStageIsRejected) {
+  const Graph g = makePath(3).build();
+  SyncEngine e(g, {1}, seqIds(1));
+  e.addFiber(doubleStage(e, 0));
+  EXPECT_THROW(e.run(10), std::logic_error);
+}
+
+Task idleForever(SyncEngine& e) {
+  for (;;) co_await e.nextRound();
+}
+
+TEST(SyncEngine, RoundLimitGuardsDeadlock) {
+  const Graph g = makePath(3).build();
+  SyncEngine e(g, {0}, seqIds(1));
+  e.addFiber(idleForever(e));
+  EXPECT_THROW(e.run(50), std::runtime_error);
+}
+
+Task nestedInner(SyncEngine& e, int& log) {
+  log = log * 10 + 2;
+  co_await e.nextRound();
+  log = log * 10 + 3;
+}
+
+Task nestedOuter(SyncEngine& e, int& log) {
+  log = log * 10 + 1;
+  co_await nestedInner(e, log);
+  log = log * 10 + 4;
+  co_await e.nextRound();
+  log = log * 10 + 5;
+}
+
+TEST(SyncEngine, NestedTasksInterleaveWithRounds) {
+  const Graph g = makePath(3).build();
+  SyncEngine e(g, {0}, seqIds(1));
+  int log = 0;
+  e.addFiber(nestedOuter(e, log));
+  e.run(10);
+  EXPECT_EQ(log, 12345);
+  EXPECT_EQ(e.round(), 2u);  // two awaited rounds
+}
+
+Task throwingFiber(SyncEngine& e) {
+  co_await e.nextRound();
+  throw std::runtime_error("protocol bug");
+}
+
+TEST(SyncEngine, FiberExceptionsPropagate) {
+  const Graph g = makePath(3).build();
+  SyncEngine e(g, {0}, seqIds(1));
+  e.addFiber(throwingFiber(e));
+  EXPECT_THROW(e.run(10), std::runtime_error);
+}
+
+Task twoFiberPing(SyncEngine& e, AgentIx a, std::uint32_t rounds) {
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    const NodeId at = e.positionOf(a);
+    const Port out = (at == 0) ? 1 : e.pinOf(a);
+    e.stageMove(a, out);
+    co_await e.nextRound();
+  }
+}
+
+TEST(SyncEngine, MultipleFibersAdvanceInLockstep) {
+  const Graph g = makeStar(5).build();
+  SyncEngine e(g, {0, 0}, seqIds(2));
+  e.addFiber(twoFiberPing(e, 0, 4));
+  e.addFiber(twoFiberPing(e, 1, 6));
+  e.run(20);
+  // Both walked an even number of hops from the hub: back at the hub.
+  EXPECT_EQ(e.positionOf(0), 0u);
+  EXPECT_EQ(e.positionOf(1), 0u);
+  EXPECT_EQ(e.round(), 6u);
+}
+
+TEST(SyncEngine, RoundHookRunsEveryRound) {
+  const Graph g = makePath(4).build();
+  SyncEngine e(g, {0}, seqIds(1));
+  int hookCount = 0;
+  e.addRoundHook([&] { ++hookCount; });
+  e.addFiber(walkRight(e, 0, 3));
+  e.run(10);
+  EXPECT_EQ(hookCount, 3);
+}
+
+// ----------------------------------------------------------- async engine
+
+// Agent program: walk right `steps` edges, one per activation, then stop.
+Task asyncWalk(AsyncEngine& e, AgentIx a, std::uint32_t steps, bool leader) {
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    co_await e.nextActivation(a);
+    const NodeId at = e.positionOf(a);
+    e.move(a, at == 0 ? 1 : 2);
+  }
+  if (leader) e.finish();
+  for (;;) co_await e.nextActivation(a);
+}
+
+TEST(AsyncEngine, RoundRobinEpochsMatchSweeps) {
+  const Graph g = makePath(8).build();
+  AsyncEngine e(g, {0, 0}, seqIds(2), makeRoundRobinScheduler(2));
+  e.setAgentFiber(0, asyncWalk(e, 0, 6, false));
+  e.setAgentFiber(1, asyncWalk(e, 1, 6, true));
+  e.run(10000);
+  EXPECT_EQ(e.positionOf(0), 6u);
+  EXPECT_EQ(e.positionOf(1), 6u);
+  // Under round-robin, each sweep of k activations is exactly one epoch.
+  EXPECT_EQ(e.epochs(), 6u);
+}
+
+TEST(AsyncEngine, EpochCountsUnderAllSchedulers) {
+  for (const auto& name : knownSchedulers()) {
+    const Graph g = makePath(12).build();
+    AsyncEngine e(g, {0, 0, 0}, seqIds(3), makeSchedulerByName(name, 3, 99));
+    e.setAgentFiber(0, asyncWalk(e, 0, 10, false));
+    e.setAgentFiber(1, asyncWalk(e, 1, 10, false));
+    e.setAgentFiber(2, asyncWalk(e, 2, 10, true));
+    e.run(1000000);
+    EXPECT_EQ(e.positionOf(2), 10u) << name;
+    // Epochs track the *slowest* agent: an agent may complete many cycles
+    // inside one epoch, so the only universal bounds are these.
+    EXPECT_GE(e.epochs(), 1u) << name;
+    EXPECT_LE(e.epochs(), e.activations() / 3 + 1) << name;
+    EXPECT_GT(e.activations(), 0u) << name;
+  }
+}
+
+Task moveTwicePerActivation(AsyncEngine& e, AgentIx a) {
+  co_await e.nextActivation(a);
+  e.move(a, 1);
+  e.move(a, 1);  // must throw: one move per CCM cycle
+}
+
+TEST(AsyncEngine, SecondMoveInOneActivationRejected) {
+  const Graph g = makePath(4).build();
+  AsyncEngine e(g, {0}, seqIds(1), makeRoundRobinScheduler(1));
+  e.setAgentFiber(0, moveTwicePerActivation(e, 0));
+  EXPECT_THROW(e.run(100), std::logic_error);
+}
+
+TEST(AsyncEngine, ActivationCapGuardsNonTermination) {
+  const Graph g = makePath(4).build();
+  AsyncEngine e(g, {0}, seqIds(1), makeRoundRobinScheduler(1));
+  e.setAgentFiber(0, asyncWalk(e, 0, 2, false));  // never calls finish()
+  EXPECT_THROW(e.run(500), std::runtime_error);
+}
+
+// ------------------------------------------------------------- schedulers
+
+TEST(Scheduler, AllAreFairOverLongRuns) {
+  constexpr std::uint32_t k = 5;
+  for (const auto& name : knownSchedulers()) {
+    auto s = makeSchedulerByName(name, k, 7);
+    std::map<std::uint32_t, int> hist;
+    for (int i = 0; i < 20000; ++i) ++hist[s->next()];
+    EXPECT_EQ(hist.size(), k) << name << " starved an agent";
+    for (const auto& [agent, count] : hist) {
+      EXPECT_GT(count, 100) << name << " agent " << agent;
+    }
+  }
+}
+
+TEST(Scheduler, WeightedSkewsRatios) {
+  auto s = makeWeightedScheduler(4, {0}, 10, 13);
+  std::map<std::uint32_t, int> hist;
+  for (int i = 0; i < 40000; ++i) ++hist[s->next()];
+  // Agent 0 should be activated ~10x less often than others.
+  EXPECT_LT(hist[0] * 5, hist[1]);
+}
+
+TEST(Scheduler, UnknownNameThrows) {
+  EXPECT_THROW((void)makeSchedulerByName("bogus", 3, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- memory
+
+TEST(Memory, BitsForWidths) {
+  EXPECT_EQ(bitsFor(0), 1u);
+  EXPECT_EQ(bitsFor(1), 1u);
+  EXPECT_EQ(bitsFor(7), 3u);
+  EXPECT_EQ(bitsFor(8), 4u);
+}
+
+TEST(Memory, LedgerTracksHighWater) {
+  MemoryLedger ledger(3);
+  ledger.record(0, 10);
+  ledger.record(1, 25);
+  ledger.record(0, 5);  // lower than before; high water stays
+  EXPECT_EQ(ledger.maxBits(), 25u);
+  EXPECT_EQ(ledger.bitsOf(0), 10u);
+}
+
+TEST(Memory, WidthsForRun) {
+  const auto w = BitWidths::forRun(/*maxId=*/4096, /*maxDegree=*/100, /*k=*/1024);
+  EXPECT_EQ(w.id, 13u);
+  EXPECT_EQ(w.port, 7u);   // values 0..101
+  EXPECT_EQ(w.count, 11u);  // values 0..1024
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, IsDispersedDetectsCollisions) {
+  EXPECT_TRUE(isDispersed({0, 1, 2}));
+  EXPECT_FALSE(isDispersed({0, 1, 0}));
+  EXPECT_TRUE(isDispersed({5}));
+}
+
+// ------------------------------------------------------------ placements
+
+TEST(Placement, RootedAllOnRoot) {
+  const Graph g = makePath(10).build();
+  const auto p = rootedPlacement(g, 6, 3, 42);
+  EXPECT_EQ(p.positions.size(), 6u);
+  for (const NodeId v : p.positions) EXPECT_EQ(v, 3u);
+  std::set<AgentId> ids(p.ids.begin(), p.ids.end());
+  EXPECT_EQ(ids.size(), 6u);
+  for (const AgentId id : ids) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, 24u);
+  }
+}
+
+TEST(Placement, ClusteredUsesExactlyLClusters) {
+  const Graph g = makeFamily({"er", 40, 11});
+  const auto p = clusteredPlacement(g, 20, 4, 17);
+  std::set<NodeId> nodes(p.positions.begin(), p.positions.end());
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(Placement, ScatteredIsDispersed) {
+  const Graph g = makeFamily({"er", 50, 19});
+  const auto p = scatteredPlacement(g, 30, 21);
+  EXPECT_TRUE(isDispersed(p.positions));
+}
+
+TEST(Placement, RejectsBadParameters) {
+  const Graph g = makePath(5).build();
+  EXPECT_THROW((void)rootedPlacement(g, 9, 0, 1), std::invalid_argument);   // k > n
+  EXPECT_THROW((void)clusteredPlacement(g, 3, 9, 1), std::invalid_argument);  // l > k
+}
+
+}  // namespace
+}  // namespace disp

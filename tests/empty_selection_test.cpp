@@ -1,0 +1,150 @@
+// Tests for Algorithm 1 (Empty_Node_Selection) and the cover assignment:
+// Lemma 1 (≥ ⌈k/3⌉ empty), Lemma 2 (trips ≤ 6 rounds), Lemma 3 (cover
+// shape), on hand-built trees, DFS trees of graph families, and random
+// trees (property sweep).
+#include <gtest/gtest.h>
+
+#include "algo/empty_selection.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "util/rng.hpp"
+
+namespace disp {
+namespace {
+
+RootedTree lineTree(std::uint32_t n) {
+  std::vector<std::int64_t> parent(n);
+  parent[0] = -1;
+  for (std::uint32_t v = 1; v < n; ++v) parent[v] = v - 1;
+  return RootedTree::fromParentArray(parent, 0);
+}
+
+RootedTree starTree(std::uint32_t n) {
+  std::vector<std::int64_t> parent(n, 0);
+  parent[0] = -1;
+  return RootedTree::fromParentArray(parent, 0);
+}
+
+RootedTree randomTree(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> parent(n);
+  parent[0] = -1;
+  for (std::uint32_t v = 1; v < n; ++v)
+    parent[v] = static_cast<std::int64_t>(rng.below(v));
+  return RootedTree::fromParentArray(parent, 0);
+}
+
+TEST(RootedTree, FromParentArrayBasics) {
+  const RootedTree t = lineTree(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.depth[4], 4u);
+  EXPECT_TRUE(t.isLeaf(4));
+  EXPECT_FALSE(t.isLeaf(0));
+}
+
+TEST(RootedTree, RejectsForest) {
+  std::vector<std::int64_t> parent{-1, 0, 1, 3};  // node 3 points to itself's area
+  parent[3] = 3;
+  EXPECT_THROW((void)RootedTree::fromParentArray(parent, 0), std::invalid_argument);
+}
+
+TEST(EmptySelection, LineK3) {
+  const auto sel = emptyNodeSelection(lineTree(3));
+  validateSelection(lineTree(3), sel);
+  EXPECT_EQ(sel.emptyCount(), 1u);  // middle node empty
+  EXPECT_TRUE(sel.occupied[0]);
+  EXPECT_FALSE(sel.occupied[1]);
+  EXPECT_TRUE(sel.occupied[2]);
+}
+
+TEST(EmptySelection, LineHalfEmpty) {
+  // On a line, exactly the odd-depth nodes are empty: ⌊k/2⌋ of them.
+  for (std::uint32_t k : {4u, 7u, 16u, 31u}) {
+    const RootedTree t = lineTree(k);
+    const auto sel = emptyNodeSelection(t);
+    validateSelection(t, sel);
+    EXPECT_EQ(sel.emptyCount(), k / 2) << "k=" << k;
+  }
+}
+
+TEST(EmptySelection, StarSettlesEveryThird) {
+  // Star rooted at the hub: hub settled, children 4,7,... settled; hub
+  // covers 1..3; anchors cover pairs.
+  const RootedTree t = starTree(11);  // hub + 10 leaves
+  const auto sel = emptyNodeSelection(t);
+  validateSelection(t, sel);
+  EXPECT_TRUE(sel.occupied[0]);
+  // occupied leaves: j=3,6,9 (0-based) -> 3 of them.
+  EXPECT_EQ(sel.occupiedCount(), 4u);
+  EXPECT_EQ(sel.coverType[0], CoverType::Children);
+  EXPECT_EQ(sel.covers[0].size(), 3u);
+}
+
+TEST(EmptySelection, Lemma1OnManyRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const std::uint32_t k = 3 + static_cast<std::uint32_t>(seed * 7 % 200);
+    const RootedTree t = randomTree(k, seed * 1337 + 1);
+    const auto sel = emptyNodeSelection(t);
+    validateSelection(t, sel);  // includes the ceil(k/3) bound
+    EXPECT_LE(sel.occupiedCount(), (2 * k) / 3 + 1) << "seed " << seed;
+  }
+}
+
+TEST(EmptySelection, RootAlwaysOccupied) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RootedTree t = randomTree(50, seed);
+    EXPECT_TRUE(emptyNodeSelection(t).occupied[t.root]);
+  }
+}
+
+TEST(EmptySelection, CoverTypesNeverMix) {
+  // validateSelection throws if a settler covers both children and
+  // siblings; run a heavy sweep to exercise many shapes.
+  for (std::uint64_t seed = 100; seed < 160; ++seed) {
+    const RootedTree t = randomTree(120, seed);
+    EXPECT_NO_THROW(validateSelection(t, emptyNodeSelection(t)));
+  }
+}
+
+TEST(EmptySelection, DfsTreesOfFamilies) {
+  for (const auto& family : knownFamilies()) {
+    const Graph g = makeFamily({family, 60, 9});
+    const auto parentNodes = portOrderDfsTree(g, 0);
+    std::vector<std::int64_t> parent(parentNodes.size());
+    for (std::size_t v = 0; v < parentNodes.size(); ++v)
+      parent[v] = (static_cast<NodeId>(v) == parentNodes[v])
+                      ? -1
+                      : static_cast<std::int64_t>(parentNodes[v]);
+    const RootedTree t = RootedTree::fromParentArray(parent, 0);
+    const auto sel = emptyNodeSelection(t);
+    EXPECT_NO_THROW(validateSelection(t, sel)) << family;
+  }
+}
+
+TEST(EmptySelection, TripRoundsFormula) {
+  EXPECT_EQ(oscillationTripRounds(CoverType::None, 0), 0u);
+  EXPECT_EQ(oscillationTripRounds(CoverType::Children, 1), 2u);
+  EXPECT_EQ(oscillationTripRounds(CoverType::Children, 3), 6u);
+  EXPECT_EQ(oscillationTripRounds(CoverType::Siblings, 1), 4u);
+  EXPECT_EQ(oscillationTripRounds(CoverType::Siblings, 2), 6u);
+}
+
+// Property sweep: the fraction of empty nodes converges to >= 1/3 across
+// tree shapes and sizes.
+class SelectionSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SelectionSweep, EmptyFractionAtLeastThird) {
+  const std::uint32_t k = GetParam();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const RootedTree t = randomTree(k, seed * 31 + k);
+    const auto sel = emptyNodeSelection(t);
+    EXPECT_GE(sel.emptyCount() * 3 + 2, k) << "k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectionSweep,
+                         ::testing::Values(3u, 5u, 9u, 17u, 33u, 65u, 129u, 257u,
+                                           513u, 1025u));
+
+}  // namespace
+}  // namespace disp

@@ -1,0 +1,282 @@
+// Tests for the graph substrate: CSR integrity, generators, port labelings
+// (including the §8.2 constrained labeling), I/O round-trips, algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/graph_io.hpp"
+
+namespace disp {
+namespace {
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.addEdge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder b(3);
+  b.addEdge(0, 1).addEdge(1, 2).addEdge(1, 0);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.addEdge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, TriangleStructure) {
+  const Graph g = makeCycle(3).build();
+  EXPECT_EQ(g.nodeCount(), 3u);
+  EXPECT_EQ(g.edgeCount(), 3u);
+  EXPECT_EQ(g.maxDegree(), 2u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+    // reverse ports return
+    for (Port p = 1; p <= 2; ++p) {
+      const NodeId u = g.neighbor(v, p);
+      EXPECT_EQ(g.neighbor(u, g.reversePort(v, p)), v);
+    }
+  }
+}
+
+TEST(Graph, PortToFindsAndMisses) {
+  const Graph g = makePath(4).build();
+  EXPECT_NE(g.portTo(1, 2), kNoPort);
+  EXPECT_EQ(g.portTo(0, 3), kNoPort);
+}
+
+TEST(Graph, EdgesListedOnce) {
+  const Graph g = makeComplete(6).build();
+  const auto es = g.edges();
+  EXPECT_EQ(es.size(), 15u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : es) {
+    EXPECT_LE(e.u, e.v);
+    EXPECT_TRUE(seen.insert({e.u, e.v}).second);
+  }
+}
+
+// ---------------------------------------------------------------- families
+
+struct FamilyCase {
+  std::string family;
+  std::uint32_t n;
+};
+
+class FamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyTest, ConnectedAndValid) {
+  const auto& [family, n] = GetParam();
+  const Graph g = makeFamily({family, n, /*seed=*/12345});
+  EXPECT_GE(g.nodeCount(), 2u) << family;
+  EXPECT_TRUE(isConnected(g)) << family;
+  EXPECT_NO_THROW(validateGraph(g)) << family;
+}
+
+TEST_P(FamilyTest, RandomLabelingPreservesStructure) {
+  const auto& [family, n] = GetParam();
+  const Graph a = makeFamily({family, n, 7, PortLabeling::InsertionOrder});
+  const Graph b = makeFamily({family, n, 7, PortLabeling::RandomPermutation});
+  EXPECT_EQ(a.nodeCount(), b.nodeCount());
+  EXPECT_EQ(a.edgeCount(), b.edgeCount());
+  for (NodeId v = 0; v < a.nodeCount(); ++v) {
+    EXPECT_EQ(a.degree(v), b.degree(v));
+    // Same neighbor multiset, possibly different port order.
+    std::multiset<NodeId> na(a.neighbors(v).begin(), a.neighbors(v).end());
+    std::multiset<NodeId> nb(b.neighbors(v).begin(), b.neighbors(v).end());
+    EXPECT_EQ(na, nb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyTest,
+    ::testing::Values(FamilyCase{"path", 50}, FamilyCase{"cycle", 50},
+                      FamilyCase{"star", 50}, FamilyCase{"wheel", 50},
+                      FamilyCase{"complete", 24}, FamilyCase{"bipartite", 30},
+                      FamilyCase{"bintree", 63}, FamilyCase{"randtree", 80},
+                      FamilyCase{"caterpillar", 60}, FamilyCase{"grid", 49},
+                      FamilyCase{"hypercube", 32}, FamilyCase{"er", 100},
+                      FamilyCase{"regular", 60}, FamilyCase{"lollipop", 40},
+                      FamilyCase{"barbell", 36}),
+    [](const auto& info) { return info.param.family; });
+
+TEST(Generators, PathEndpointsDegreeOne) {
+  const Graph g = makePath(10).build();
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(9), 1u);
+  for (NodeId v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, StarDegrees) {
+  const Graph g = makeStar(11).build();
+  EXPECT_EQ(g.degree(0), 10u);
+  EXPECT_EQ(g.maxDegree(), 10u);
+  for (NodeId v = 1; v < 11; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, GridSizes) {
+  const Graph g = makeGrid(4, 5).build();
+  EXPECT_EQ(g.nodeCount(), 20u);
+  EXPECT_EQ(g.edgeCount(), 4u * 4 + 5u * 3);  // 31 edges
+  EXPECT_EQ(g.maxDegree(), 4u);
+}
+
+TEST(Generators, HypercubeRegular) {
+  const Graph g = makeHypercube(4).build();
+  EXPECT_EQ(g.nodeCount(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = makeRandomRegular(30, 4, 99).build();
+  for (NodeId v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  const Graph g = makeRandomTree(200, 5).build();
+  EXPECT_EQ(g.edgeCount(), 199u);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, ErdosRenyiAlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = makeErdosRenyiConnected(60, 0.02, seed).build();
+    EXPECT_TRUE(isConnected(g)) << "seed " << seed;
+  }
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = makeLollipop(20, 8).build();
+  EXPECT_EQ(g.nodeCount(), 20u);
+  EXPECT_EQ(g.edgeCount(), 8u * 7 / 2 + 12u);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = makeBarbell(5, 4).build();
+  EXPECT_EQ(g.nodeCount(), 14u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.edgeCount(), 2u * 10 + 5u);
+}
+
+TEST(Generators, BadParamsThrow) {
+  EXPECT_THROW((void)makeCycle(2), std::invalid_argument);
+  EXPECT_THROW((void)makeRandomRegular(9, 3, 1), std::invalid_argument);  // odd n*d
+  EXPECT_THROW((void)makeFamily({"nope", 10, 0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- labelings
+
+TEST(Labeling, RandomPermutationDiffersAcrossSeeds) {
+  const GraphBuilder b = makeStar(40);
+  const Graph g1 = b.build(PortLabeling::RandomPermutation, 1);
+  const Graph g2 = b.build(PortLabeling::RandomPermutation, 2);
+  bool differs = false;
+  for (Port p = 1; p <= g1.degree(0); ++p) differs |= g1.neighbor(0, p) != g2.neighbor(0, p);
+  EXPECT_TRUE(differs);
+}
+
+class ConstrainedLabelingTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(ConstrainedLabelingTest, SatisfiesSection82) {
+  const auto& [family, n] = GetParam();
+  const Graph g = makeFamily({family, n, 31337, PortLabeling::Constrained});
+  EXPECT_TRUE(satisfiesConstrainedLabeling(g)) << family;
+  EXPECT_NO_THROW(validateGraph(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Feasible, ConstrainedLabelingTest,
+    ::testing::Values(FamilyCase{"path", 40}, FamilyCase{"cycle", 40},
+                      FamilyCase{"star", 40}, FamilyCase{"randtree", 60},
+                      FamilyCase{"er", 80}, FamilyCase{"bintree", 31},
+                      FamilyCase{"caterpillar", 40}, FamilyCase{"lollipop", 30}),
+    [](const auto& info) { return info.param.family; });
+
+TEST(Labeling, K4HasNoConstrainedLabeling) {
+  // K4: 4 degree-3 nodes need 8 low-port slots but only 6 edges exist.
+  EXPECT_THROW((void)makeComplete(4).build(PortLabeling::Constrained, 1),
+               std::invalid_argument);
+}
+
+TEST(Labeling, GridHasNoConstrainedLabeling) {
+  // Reproduction finding (documented in DESIGN.md): a 6x6 grid has 32 nodes
+  // of degree >= 3 needing 64 low-port slots, but only 60 edges — so the
+  // §8.2 assumption excludes 2D grids entirely.
+  EXPECT_THROW((void)makeGrid(6, 6).build(PortLabeling::Constrained, 1),
+               std::invalid_argument);
+}
+
+TEST(Labeling, K5ConstrainedIsTightButFeasible) {
+  const Graph g = makeComplete(5).build(PortLabeling::Constrained, 1);
+  EXPECT_TRUE(satisfiesConstrainedLabeling(g));
+}
+
+TEST(Labeling, RandomLabelingUsuallyViolatesConstraint) {
+  // Sanity check that the validator actually discriminates: on a clique a
+  // random labeling almost surely has some (low, low) edge.
+  const Graph g = makeComplete(12).build(PortLabeling::RandomPermutation, 3);
+  EXPECT_FALSE(satisfiesConstrainedLabeling(g));
+}
+
+// ------------------------------------------------------------------- io
+
+TEST(GraphIo, RoundTripPreservesPorts) {
+  const Graph g = makeFamily({"er", 50, 77, PortLabeling::RandomPermutation});
+  std::stringstream ss;
+  writeGraph(ss, g);
+  const Graph h = readGraph(ss);
+  ASSERT_EQ(g.nodeCount(), h.nodeCount());
+  ASSERT_EQ(g.edgeCount(), h.edgeCount());
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    ASSERT_EQ(g.degree(v), h.degree(v));
+    for (Port p = 1; p <= g.degree(v); ++p) {
+      EXPECT_EQ(g.neighbor(v, p), h.neighbor(v, p));
+      EXPECT_EQ(g.reversePort(v, p), h.reversePort(v, p));
+    }
+  }
+}
+
+TEST(GraphIo, RejectsGarbage) {
+  std::stringstream ss("not a graph");
+  EXPECT_THROW((void)readGraph(ss), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ algorithms
+
+TEST(GraphAlgos, BfsDistancesOnPath) {
+  const Graph g = makePath(6).build();
+  const auto d = bfsDistances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(GraphAlgos, DiameterKnownValues) {
+  EXPECT_EQ(diameter(makePath(10).build()), 9u);
+  EXPECT_EQ(diameter(makeCycle(10).build()), 5u);
+  EXPECT_EQ(diameter(makeStar(10).build()), 2u);
+  EXPECT_EQ(diameter(makeComplete(10).build()), 1u);
+  EXPECT_EQ(diameter(makeHypercube(5).build()), 5u);
+}
+
+TEST(GraphAlgos, PeripheralNodeOnPathIsEndpoint) {
+  const NodeId p = peripheralNode(makePath(9).build());
+  EXPECT_TRUE(p == 0 || p == 8);
+}
+
+TEST(GraphAlgos, PortOrderDfsSpans) {
+  const Graph g = makeFamily({"er", 40, 3});
+  const auto parent = portOrderDfsTree(g, 0);
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    EXPECT_NE(parent[v], kInvalidNode) << "unreached node " << v;
+  }
+  EXPECT_EQ(parent[0], 0u);
+}
+
+}  // namespace
+}  // namespace disp

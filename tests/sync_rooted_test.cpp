@@ -1,0 +1,190 @@
+// End-to-end tests for RootedSyncDisp (Theorem 6.1): dispersion correctness
+// across families × k, the O(k) round bound (rounds/k stays flat as k
+// grows), Lemma 7 (≥ ⌈k/3⌉ empty at DFS end), Lemma 4 (probe rounds O(1)),
+// the O(log(k+Δ)) memory bound, and the ≤ 2 seeker-borrow guarantee.
+#include <gtest/gtest.h>
+
+#include "algo/placement.hpp"
+#include "algo/sync_rooted.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace disp {
+namespace {
+
+struct Case {
+  std::string family;
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.family + "_n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k);
+}
+
+struct RunOut {
+  RunOut(const Graph& g, std::uint32_t k, std::uint64_t seed)
+      : placement(rootedPlacement(g, k, 0, seed)),
+        engine(g, placement.positions, placement.ids),
+        algo(engine) {
+    algo.start();
+    engine.run(4000ULL * k + 200000);
+  }
+  Placement placement;
+  SyncEngine engine;
+  RootedSyncDispersion algo;
+};
+
+class SyncRootedTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SyncRootedTest, Disperses) {
+  const auto& [family, n, k] = GetParam();
+  const Graph g = makeFamily({family, n, 42});
+  RunOut run(g, k, 7);
+  EXPECT_TRUE(run.algo.dispersed()) << family;
+  EXPECT_TRUE(isDispersed(run.engine.positionsSnapshot()));
+  // Lemma 7 / Lemma 1: at DFS end at least ceil(k/3) tree nodes were empty.
+  EXPECT_GE(run.algo.stats().emptyAtDfsEnd * 3 + 2, k) << family;
+  EXPECT_EQ(run.algo.stats().treeSize, k);
+  EXPECT_LE(run.algo.stats().borrows, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SyncRootedTest,
+    ::testing::Values(Case{"path", 80, 80}, Case{"path", 80, 23},
+                      Case{"cycle", 64, 64}, Case{"star", 70, 70},
+                      Case{"star", 70, 21}, Case{"complete", 28, 28},
+                      Case{"bintree", 63, 63}, Case{"bintree", 63, 30},
+                      Case{"randtree", 90, 90}, Case{"grid", 64, 64},
+                      Case{"grid", 64, 33}, Case{"er", 72, 72},
+                      Case{"er", 72, 31}, Case{"regular", 60, 60},
+                      Case{"lollipop", 40, 40}, Case{"barbell", 42, 42},
+                      Case{"hypercube", 64, 64}, Case{"wheel", 50, 50},
+                      Case{"bipartite", 40, 40}, Case{"caterpillar", 60, 60}),
+    caseName);
+
+TEST(SyncRooted, SmallKRange) {
+  // Minimum supported k (7) through 12 on several shapes.
+  for (std::uint32_t k = 7; k <= 12; ++k) {
+    for (const char* family : {"path", "star", "er", "randtree"}) {
+      const Graph g = makeFamily({family, 24, k * 3 + 1});
+      RunOut run(g, k, k);
+      EXPECT_TRUE(run.algo.dispersed()) << family << " k=" << k;
+    }
+  }
+}
+
+TEST(SyncRooted, RejectsTinyK) {
+  const Graph g = makePath(10).build();
+  const Placement p = rootedPlacement(g, 5, 0, 1);
+  SyncEngine engine(g, p.positions, p.ids);
+  EXPECT_THROW(RootedSyncDispersion{engine}, std::invalid_argument);
+}
+
+TEST(SyncRooted, RejectsGeneralPlacement) {
+  const Graph g = makePath(20).build();
+  const Placement p = clusteredPlacement(g, 10, 2, 3);
+  SyncEngine engine(g, p.positions, p.ids);
+  EXPECT_THROW(RootedSyncDispersion{engine}, std::invalid_argument);
+}
+
+TEST(SyncRooted, ProbeRoundsAreConstant) {
+  // Lemma 4: Sync_Probe is O(1) rounds regardless of degree.  Compare the
+  // longest probe on a star (Δ = n-1) against a path (Δ = 2): the bound is
+  // a fixed constant, independent of Δ and k.
+  std::uint64_t starMax = 0, pathMax = 0;
+  {
+    const Graph g = makeStar(200).build();
+    RunOut run(g, 60, 5);
+    ASSERT_TRUE(run.algo.dispersed());
+    starMax = run.algo.stats().maxProbeRounds;
+  }
+  {
+    const Graph g = makePath(200).build();
+    RunOut run(g, 60, 5);
+    ASSERT_TRUE(run.algo.dispersed());
+    pathMax = run.algo.stats().maxProbeRounds;
+  }
+  // Each probe iteration costs 8 rounds + O(1) custodian waits; at most ~4
+  // iterations with borrows. 64 rounds is a generous constant ceiling.
+  EXPECT_LE(starMax, 64u);
+  EXPECT_LE(pathMax, 64u);
+}
+
+TEST(SyncRooted, RoundsLinearInK) {
+  // The paper's headline: rounds/k stays (roughly) flat as k doubles.
+  const Graph g = makeFamily({"er", 600, 11});
+  double prevRatio = 0;
+  for (std::uint32_t k : {64u, 128u, 256u, 512u}) {
+    RunOut run(g, k, 3);
+    ASSERT_TRUE(run.algo.dispersed()) << k;
+    const double ratio =
+        static_cast<double>(run.engine.round()) / static_cast<double>(k);
+    if (prevRatio > 0) {
+      EXPECT_LT(ratio, prevRatio * 1.5) << "rounds/k grew superlinearly at k=" << k;
+    }
+    prevRatio = ratio;
+  }
+}
+
+TEST(SyncRooted, MemoryLogarithmic) {
+  const Graph g = makeFamily({"er", 300, 17});
+  for (std::uint32_t k : {64u, 256u}) {
+    RunOut run(g, k, 9);
+    ASSERT_TRUE(run.algo.dispersed());
+    const auto w = BitWidths::forRun(4ULL * k, g.maxDegree(), k);
+    // Records are ~11 log-sized fields; custody of ≤ 3 covered records plus
+    // leader extras stays within ~64 log-words.
+    EXPECT_LE(run.engine.memory().maxBits(), 64ULL * (w.id + w.port + w.count));
+  }
+}
+
+TEST(SyncRooted, ForwardMovesExactlyKMinus1) {
+  const Graph g = makeFamily({"randtree", 50, 23});
+  RunOut run(g, 50, 2);
+  ASSERT_TRUE(run.algo.dispersed());
+  EXPECT_EQ(run.algo.stats().forwardMoves, 49u);
+  EXPECT_LE(run.algo.stats().backtracks, 49u);
+}
+
+TEST(SyncRooted, OscillationCyclesWithinLemma2Bound) {
+  const Graph g = makeFamily({"star", 100, 3});
+  RunOut run(g, 40, 4);
+  ASSERT_TRUE(run.algo.dispersed());
+  EXPECT_LE(run.algo.oscillators().maxCycleRounds(), 6u);
+}
+
+TEST(SyncRooted, DeterministicAcrossRuns) {
+  const Graph g = makeFamily({"er", 100, 21});
+  std::uint64_t first = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    RunOut run(g, 64, 13);
+    ASSERT_TRUE(run.algo.dispersed());
+    if (rep == 0) {
+      first = run.engine.round();
+    } else {
+      EXPECT_EQ(run.engine.round(), first);
+    }
+  }
+}
+
+TEST(SyncRooted, FullOccupancyOnTree) {
+  const Graph g = makeRandomTree(48, 19).build();
+  RunOut run(g, 48, 6);
+  ASSERT_TRUE(run.algo.dispersed());
+  auto pos = run.engine.positionsSnapshot();
+  std::sort(pos.begin(), pos.end());
+  for (NodeId v = 0; v < 48; ++v) EXPECT_EQ(pos[v], v);
+}
+
+TEST(SyncRooted, WorksUnderRandomPortLabels) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = makeFamily({"er", 64, seed, PortLabeling::RandomPermutation});
+    RunOut run(g, 48, seed);
+    EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace disp
