@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Snapshots the bench_table1_* binaries into BENCH_table1.json so future
+# PRs have a perf trajectory to compare against.  Run from the repo root
+# after a Release build in ./build; pass a build dir to override.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${REPO_ROOT}/BENCH_table1.json"
+
+cd "${REPO_ROOT}"
+python3 - "$BUILD_DIR" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+build_dir, out_path = sys.argv[1], sys.argv[2]
+benches = [
+    "bench_table1_sync_rooted",
+    "bench_table1_sync_general",
+    "bench_table1_async_rooted",
+    "bench_table1_async_general",
+    "bench_table1_memory",
+]
+
+def parse_markdown_tables(text):
+    """Returns rows from every GitHub-markdown table in the bench output."""
+    rows, header = [], None
+    for line in text.splitlines():
+        line = line.strip()
+        if not (line.startswith("|") and line.endswith("|")):
+            header = None
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if all(re.fullmatch(r":?-+:?", c) for c in cells):
+            continue  # separator row
+        if header is None:
+            header = cells
+            continue
+        rows.append(dict(zip(header, cells)))
+    return rows
+
+snapshot = {"scale": 1.0, "benches": {}}
+for name in benches:
+    try:
+        proc = subprocess.run([f"{build_dir}/{name}"], capture_output=True, text=True)
+    except FileNotFoundError:
+        sys.exit(f"error: {build_dir}/{name} not found — build first "
+                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    if proc.returncode != 0:
+        print(f"warning: {name} exited {proc.returncode}; skipped", file=sys.stderr)
+        continue
+    fits = re.findall(r"^fit\[.*$", proc.stdout, flags=re.M)
+    snapshot["benches"][name] = {
+        "rows": parse_markdown_tables(proc.stdout),
+        "fits": fits,
+    }
+    print(f"{name}: {len(snapshot['benches'][name]['rows'])} rows")
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

@@ -558,7 +558,6 @@ Task GeneralSyncDispersion::retryPending(std::uint32_t gi) {
 
 Task GeneralSyncDispersion::groupFiber(std::uint32_t gi) {
   GroupCtx& ctx = groups_[gi];
-  const Graph& g = engine_.graph();
 
   const auto globalUnsettled = [this] {
     std::uint32_t n = 0;

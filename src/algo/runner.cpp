@@ -2,6 +2,7 @@
 
 #include "algo/async_rooted.hpp"
 #include "algo/baseline_ks.hpp"
+#include "algo/general_async.hpp"
 #include "algo/general_sync.hpp"
 #include "algo/sync_rooted.hpp"
 #include "core/async_engine.hpp"
@@ -16,6 +17,7 @@ std::string algorithmName(Algorithm a) {
     case Algorithm::RootedSync: return "RootedSyncDisp";
     case Algorithm::RootedAsync: return "RootedAsyncDisp";
     case Algorithm::GeneralSync: return "GeneralSync(doubling)";
+    case Algorithm::GeneralAsync: return "GeneralAsync(Thm8.2)";
     case Algorithm::KsSync: return "KS-sync";
     case Algorithm::KsAsync: return "KS-async";
   }
@@ -23,7 +25,8 @@ std::string algorithmName(Algorithm a) {
 }
 
 bool isAsync(Algorithm a) {
-  return a == Algorithm::RootedAsync || a == Algorithm::KsAsync;
+  return a == Algorithm::RootedAsync || a == Algorithm::GeneralAsync ||
+         a == Algorithm::KsAsync;
 }
 
 namespace {
@@ -89,6 +92,14 @@ RunResult runDispersion(const Graph& g, const Placement& placement,
       algo.start();
       engine.run(syncLimit);
       return finishSync(engine, algo.dispersed());
+    }
+    case Algorithm::GeneralAsync: {
+      AsyncEngine engine(g, placement.positions, placement.ids,
+                         makeSchedulerByName(spec.scheduler, k, spec.seed));
+      GeneralAsyncDispersion algo(engine);
+      algo.start();
+      engine.run(asyncLimit);
+      return finishAsync(engine, algo.dispersed());
     }
     case Algorithm::RootedAsync: {
       AsyncEngine engine(g, placement.positions, placement.ids,

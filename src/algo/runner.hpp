@@ -14,6 +14,9 @@
 //   GeneralSync  — §8.1-style multi-source dispersion with KS subsumption
 //                  (doubling growing phase; with ℓ=1 this is the Sudo-style
 //                  O(k log k) baseline of Table 1).
+//   GeneralAsync — Theorem 8.2: the RootedAsyncDisp growing phase composed
+//                  with KS subsumption, collapse walks and squatting, in
+//                  the ASYNC model (O(k log k) epochs).
 //   KsSync/KsAsync — the O(min{m, kΔ}) group-DFS baseline (Table 1 rows
 //                  [24]); KsSync/KsAsync require rooted placements.
 
@@ -30,6 +33,7 @@ enum class Algorithm {
   RootedSync,
   RootedAsync,
   GeneralSync,
+  GeneralAsync,
   KsSync,
   KsAsync,
 };

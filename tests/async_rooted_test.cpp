@@ -113,7 +113,9 @@ TEST(AsyncRooted, EpochsNearKLogK) {
     ASSERT_TRUE(run.algo.dispersed()) << k;
     const double ratio = static_cast<double>(run.engine.epochs()) /
                          (k * std::log2(static_cast<double>(k)));
-    if (prev > 0) EXPECT_LT(ratio, prev * 1.6) << "k=" << k;
+    if (prev > 0) {
+      EXPECT_LT(ratio, prev * 1.6) << "k=" << k;
+    }
     prev = ratio;
   }
 }

@@ -115,7 +115,9 @@ TEST(GeneralSync, RootedModeIsKLogKShaped) {
     ASSERT_TRUE(algo.dispersed()) << k;
     const double ratio = static_cast<double>(engine.round()) /
                          (k * std::log2(static_cast<double>(k)));
-    if (prev > 0) EXPECT_LT(ratio, prev * 1.6) << k;
+    if (prev > 0) {
+      EXPECT_LT(ratio, prev * 1.6) << k;
+    }
     prev = ratio;
   }
 }

@@ -103,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
                       FamilyCase{"hypercube", 32}, FamilyCase{"er", 100},
                       FamilyCase{"regular", 60}, FamilyCase{"lollipop", 40},
                       FamilyCase{"barbell", 36}),
-    [](const auto& info) { return info.param.family; });
+    [](const auto& tpi) { return tpi.param.family; });
 
 TEST(Generators, PathEndpointsDegreeOne) {
   const Graph g = makePath(10).build();
@@ -197,7 +197,7 @@ INSTANTIATE_TEST_SUITE_P(
                       FamilyCase{"star", 40}, FamilyCase{"randtree", 60},
                       FamilyCase{"er", 80}, FamilyCase{"bintree", 31},
                       FamilyCase{"caterpillar", 40}, FamilyCase{"lollipop", 30}),
-    [](const auto& info) { return info.param.family; });
+    [](const auto& tpi) { return tpi.param.family; });
 
 TEST(Labeling, K4HasNoConstrainedLabeling) {
   // K4: 4 degree-3 nodes need 8 low-port slots but only 6 edges exist.

@@ -1,6 +1,11 @@
 // Facade-level integration tests: every algorithm through runDispersion,
-// including the small-k fallback and cross-model agreement checks.
+// including the small-k fallback, cross-model agreement checks, and the
+// cross-algorithm invariant suite (dispersal, distinct occupancy, metric
+// sanity/monotonicity, and bit-identical reruns for fixed seeds).
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
 
 #include "algo/runner.hpp"
 #include "graph/generators.hpp"
@@ -8,11 +13,22 @@
 namespace disp {
 namespace {
 
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::RootedSync, Algorithm::RootedAsync,  Algorithm::GeneralSync,
+    Algorithm::GeneralAsync, Algorithm::KsSync,     Algorithm::KsAsync,
+};
+
+/// Rooted algorithms require rooted placements; general ones are exercised
+/// on a 4-cluster general configuration.
+Placement placementFor(const Graph& g, Algorithm algo, std::uint32_t k,
+                       std::uint64_t seed) {
+  const bool general = algo == Algorithm::GeneralSync || algo == Algorithm::GeneralAsync;
+  return general ? clusteredPlacement(g, k, 4, seed) : rootedPlacement(g, k, 0, seed);
+}
+
 TEST(Runner, AllAlgorithmsDisperseRooted) {
   const Graph g = makeFamily({"er", 64, 5});
-  for (const Algorithm algo : {Algorithm::RootedSync, Algorithm::RootedAsync,
-                               Algorithm::GeneralSync, Algorithm::KsSync,
-                               Algorithm::KsAsync}) {
+  for (const Algorithm algo : kAllAlgorithms) {
     const Placement p = rootedPlacement(g, 48, 0, 3);
     const RunResult r = runDispersion(g, p, {algo, "round_robin", 7});
     EXPECT_TRUE(r.dispersed) << algorithmName(algo);
@@ -67,6 +83,111 @@ TEST(Runner, KsRequiresRootedPlacement) {
   const Graph g = makePath(20).build();
   const Placement p = clusteredPlacement(g, 10, 2, 3);
   EXPECT_THROW((void)runDispersion(g, p, {Algorithm::KsSync}), std::invalid_argument);
+}
+
+TEST(Runner, GeneralAsyncHandlesClustersUnderAllSchedulers) {
+  const Graph g = makeFamily({"grid", 64, 9});
+  for (std::uint32_t l : {1u, 2u, 4u, 8u}) {
+    for (const char* sched : {"round_robin", "shuffled", "uniform", "weighted"}) {
+      const Placement p = clusteredPlacement(g, 48, l, 11);
+      const RunResult r = runDispersion(g, p, {Algorithm::GeneralAsync, sched, 7});
+      EXPECT_TRUE(r.dispersed) << "l=" << l << " " << sched;
+      EXPECT_GT(r.activations, 0u);
+    }
+  }
+}
+
+// ------------------------- cross-algorithm invariant suite -------------------
+
+struct CrossCase {
+  Algorithm algorithm;
+  std::string family;
+  std::uint64_t seed;
+};
+
+std::string crossCaseName(const ::testing::TestParamInfo<CrossCase>& info) {
+  std::string name = algorithmName(info.param.algorithm) + "_" + info.param.family +
+                     "_s" + std::to_string(info.param.seed);
+  std::erase_if(name, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
+  return name;
+}
+
+class CrossAlgorithmTest : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossAlgorithmTest, TerminatesDispersedWithSaneMetrics) {
+  const auto& [algo, family, seed] = GetParam();
+  const std::uint32_t k = 48;
+  const Graph g = makeFamily({family, 64, seed});
+  const Placement p = placementFor(g, algo, k, seed + 1);
+  const RunResult r = runDispersion(g, p, {algo, "round_robin", seed});
+
+  EXPECT_TRUE(r.dispersed);
+  ASSERT_EQ(r.finalPositions.size(), k);
+  EXPECT_TRUE(isDispersed(r.finalPositions));
+  auto nodes = r.finalPositions;
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(std::unique(nodes.begin(), nodes.end()), nodes.end())
+      << "agents must occupy k distinct nodes";
+
+  // Metric sanity: time passes, agents move, memory is accounted, and the
+  // ASYNC activation count dominates the epoch count.
+  EXPECT_GE(r.time, 1u);
+  EXPECT_GT(r.totalMoves, 0u);
+  EXPECT_GT(r.maxMemoryBits, 0u);
+  if (isAsync(algo)) {
+    EXPECT_GE(r.activations, r.time);
+  } else {
+    EXPECT_EQ(r.activations, 0u);
+  }
+}
+
+TEST_P(CrossAlgorithmTest, FixedSeedsGiveBitIdenticalRuns) {
+  const auto& [algo, family, seed] = GetParam();
+  const std::uint32_t k = 32;
+  const Graph g = makeFamily({family, 48, seed});
+  const Placement p = placementFor(g, algo, k, seed + 1);
+  const RunSpec spec{algo, "uniform", seed};
+  const RunResult a = runDispersion(g, p, spec);
+  const RunResult b = runDispersion(g, p, spec);
+  EXPECT_EQ(a.dispersed, b.dispersed);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.totalMoves, b.totalMoves);
+  EXPECT_EQ(a.maxMemoryBits, b.maxMemoryBits);
+  EXPECT_EQ(a.finalPositions, b.finalPositions);
+}
+
+std::vector<CrossCase> crossCases() {
+  std::vector<CrossCase> cases;
+  for (const Algorithm algo : kAllAlgorithms) {
+    for (const char* family : {"path", "grid", "er"}) {
+      for (const std::uint64_t seed : {3ULL, 17ULL}) {
+        cases.push_back({algo, family, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithmsFamiliesSeeds, CrossAlgorithmTest,
+                         ::testing::ValuesIn(crossCases()), crossCaseName);
+
+TEST(CrossAlgorithm, MovesAndTimeNonDecreasingInK) {
+  // Scaling sanity shared by every algorithm: on a fixed graph, settling
+  // more agents never takes fewer total moves, and never less time.
+  const Graph g = makeFamily({"er", 128, 21});
+  for (const Algorithm algo : kAllAlgorithms) {
+    std::uint64_t prevMoves = 0, prevTime = 0;
+    for (const std::uint32_t k : {16u, 32u, 64u}) {
+      const Placement p = placementFor(g, algo, k, 5);
+      const RunResult r = runDispersion(g, p, {algo, "round_robin", 9});
+      ASSERT_TRUE(r.dispersed) << algorithmName(algo) << " k=" << k;
+      EXPECT_GE(r.totalMoves, prevMoves) << algorithmName(algo) << " k=" << k;
+      EXPECT_GE(r.time, prevTime) << algorithmName(algo) << " k=" << k;
+      prevMoves = r.totalMoves;
+      prevTime = r.time;
+    }
+  }
 }
 
 }  // namespace
