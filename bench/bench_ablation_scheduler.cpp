@@ -1,32 +1,6 @@
-// E13 — scheduler-adversary ablation.
-// Epoch counts of the ASYNC algorithms under increasingly adversarial
-// activation schedules.  Epoch-measured time should be scheduler-robust
-// (that is the point of the epoch definition); raw activations are not.
-#include <iostream>
+// E13 — scheduler-adversary ablation (body: src/exp/benches_misc.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-#include "core/scheduler.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E13: ablation — scheduler adversaries (ASYNC)\n";
-  Table t({"algo", "sched", "k", "epochs", "activations", "act/epoch"});
-  const auto k = static_cast<std::uint32_t>(96 * scale());
-  for (const Algorithm algo : {Algorithm::RootedAsync, Algorithm::KsAsync}) {
-    for (const auto& sched : knownSchedulers()) {
-      const auto r = runCase("er", k, algo, 1, sched, 23);
-      if (!r.run.dispersed) continue;
-      t.row()
-          .cell(algorithmName(algo))
-          .cell(sched)
-          .cell(std::uint64_t{k})
-          .cell(r.run.time)
-          .cell(r.run.activations)
-          .cell(double(r.run.activations) / double(r.run.time), 1);
-    }
-  }
-  t.print(std::cout, "epoch robustness across schedulers");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("ablation_scheduler", argc, argv);
 }

@@ -1,34 +1,6 @@
-// E12 — design-choice ablation.
-// The paper's SYNC result stacks two techniques on the KS baseline:
-//   level 0: KS sequential probing            -> O(min{m, kΔ})
-//   level 1: + parallel probing w/ doubling   -> O(k log k)  (Sudo-style)
-//   level 2: + seekers, empty nodes, oscillation -> O(k)     (Theorem 6.1)
-// This bench isolates each level's contribution on a dense instance.
-#include <iostream>
+// E12 — design-choice ablation (body: src/exp/benches_misc.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E12: ablation — technique levels on a clique (k = n)\n";
-  Table t({"k", "KS(level0)", "doubling(level1)", "full(level2)",
-           "lvl0/lvl2", "lvl1/lvl2"});
-  for (const std::uint32_t k : kSweep(5, 9)) {
-    const auto l0 = runCase("complete", k, Algorithm::KsSync, 1, "round_robin", 5, 1.0);
-    const auto l1 =
-        runCase("complete", k, Algorithm::GeneralSync, 1, "round_robin", 5, 1.0);
-    const auto l2 =
-        runCase("complete", k, Algorithm::RootedSync, 1, "round_robin", 5, 1.0);
-    t.row()
-        .cell(std::uint64_t{k})
-        .cell(l0.run.time)
-        .cell(l1.run.time)
-        .cell(l2.run.time)
-        .cell(double(l0.run.time) / double(l2.run.time), 2)
-        .cell(double(l1.run.time) / double(l2.run.time), 2);
-  }
-  t.print(std::cout, "rounds by technique level (speedups vs full algorithm)");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("ablation_techniques", argc, argv);
 }

@@ -1,71 +1,66 @@
 #pragma once
-// Shared scaffolding for the experiment binaries.  Every bench prints
-// GitHub-markdown tables (the "rows" EXPERIMENTS.md quotes) and a growth
-// diagnosis against the Table-1 models.  DISP_BENCH_SCALE ∈ {0.5, 1, 2, 4}
-// scales the sweeps.
+// Compatibility shim over the src/exp/ experiment driver.
+//
+// The bench binaries are now thin wrappers over the registered sweeps in
+// src/exp/ (see exp/bench_registry.hpp); this header remains so that ad-hoc
+// experiments and downstream snippets keep compiling.  runCase() is the
+// historical single-seed entry point (seed 17 unless given), now delegating
+// to exp::runCell; runCaseReplicates() adds seed-replicate aggregation.
 
-#include <cmath>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "algo/runner.hpp"
-#include "graph/generators.hpp"
-#include "util/stats.hpp"
+#include "exp/batch_runner.hpp"
+#include "exp/sweep.hpp"
 #include "util/table.hpp"
 
 namespace disp::bench {
 
-inline double scale() {
-  if (const char* s = std::getenv("DISP_BENCH_SCALE")) return std::atof(s);
-  return 1.0;
-}
+using exp::kSweep;
+using exp::scale;
 
-/// k values 2^lo .. 2^hi scaled by DISP_BENCH_SCALE.
-inline std::vector<std::uint32_t> kSweep(std::uint32_t lo = 5, std::uint32_t hi = 9) {
-  std::vector<std::uint32_t> ks;
-  const double f = scale();
-  for (std::uint32_t e = lo; e <= hi; ++e) {
-    const auto k = static_cast<std::uint32_t>(double(1u << e) * f);
-    if (k >= 8) ks.push_back(k);
-  }
-  return ks;
-}
-
-struct CaseResult {
-  RunResult run;
-  std::uint32_t n = 0;
-  std::uint32_t maxDegree = 0;
-  std::uint64_t edges = 0;
-};
+/// Historical result alias: {run, n, maxDegree, edges}.
+using CaseResult = exp::RunRecord;
 
 /// Builds the graph (n = ratio*k nodes), places agents and runs once.
 inline CaseResult runCase(const std::string& family, std::uint32_t k,
                           Algorithm algo, std::uint32_t clusters = 1,
                           const std::string& sched = "round_robin",
                           std::uint64_t seed = 17, double nOverK = 2.0) {
-  const auto n = static_cast<std::uint32_t>(double(k) * nOverK);
-  const Graph g = makeFamily({family, n, seed});
-  const Placement p = clusters == 1
-                          ? rootedPlacement(g, k, 0, seed)
-                          : clusteredPlacement(g, k, clusters, seed);
-  CaseResult out;
-  out.run = runDispersion(g, p, {algo, sched, seed});
-  out.n = g.nodeCount();
-  out.maxDegree = g.maxDegree();
-  out.edges = g.edgeCount();
-  return out;
+  return exp::runCell({family, k, algo, clusters, sched, seed, nOverK,
+                       PortLabeling::RandomPermutation});
+}
+
+/// Seed-replicate variant: one run per seed plus the time summary
+/// (mean/median/stddev over rounds or epochs).
+struct ReplicatedCase {
+  std::vector<CaseResult> runs;  ///< index-parallel with the seeds argument
+  Summary time;
+};
+
+inline ReplicatedCase runCaseReplicates(const std::string& family, std::uint32_t k,
+                                        Algorithm algo,
+                                        const std::vector<std::uint64_t>& seeds,
+                                        std::uint32_t clusters = 1,
+                                        const std::string& sched = "round_robin",
+                                        double nOverK = 2.0) {
+  exp::SweepSpec spec;
+  spec.name = "adhoc";
+  spec.families = {family};
+  spec.ks = {k};
+  spec.algorithms = {algo};
+  spec.clusterCounts = {clusters};
+  spec.schedulers = {sched};
+  spec.seeds = seeds;
+  spec.nOverK = nOverK;
+  exp::SweepResult res = exp::BatchRunner().run(spec);
+  return {std::move(res.cells.front().replicates), res.cells.front().time};
 }
 
 inline void printDiagnosis(const std::string& label, const std::vector<double>& ks,
                            const std::vector<double>& times) {
-  const auto d = diagnoseGrowth(ks, times);
-  std::cout << "fit[" << label << "]: time ~ k^" << fmt(d.power.exponent, 2)
-            << " (r2=" << fmt(d.power.r2, 3) << "), time/k: " << fmt(d.ratioLinearSmall, 1)
-            << " -> " << fmt(d.ratioLinearLarge, 1)
-            << ", time/(k log k): " << fmt(d.ratioKLogKSmall, 2) << " -> "
-            << fmt(d.ratioKLogKLarge, 2) << "\n";
+  std::cout << exp::growthDiagnosisLine(label, ks, times) << "\n";
 }
 
 }  // namespace disp::bench

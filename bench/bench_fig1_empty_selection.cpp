@@ -1,48 +1,6 @@
-// E6 — Figure 1 / Lemma 1.
-// Empty_Node_Selection on random trees: the fraction of empty nodes must be
-// >= 1/3 for every tree (Lemma 1), with ~1/2 typical (lines).
-#include <iostream>
+// E6 — Figure 1 / Lemma 1 (body: src/exp/benches_figs.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/empty_selection.hpp"
-#include "bench_common.hpp"
-#include "util/rng.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-namespace {
-RootedTree randomTree(std::uint32_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::int64_t> parent(n);
-  parent[0] = -1;
-  for (std::uint32_t v = 1; v < n; ++v)
-    parent[v] = static_cast<std::int64_t>(rng.below(v));
-  return RootedTree::fromParentArray(parent, 0);
-}
-}  // namespace
-
-int main() {
-  std::cout << "# E6: Fig. 1 / Lemma 1 — Empty_Node_Selection\n";
-  Table t({"k", "trees", "minEmptyFrac", "meanEmptyFrac", "lemma1 (>=0.333)"});
-  for (const std::uint32_t k : kSweep(4, 11)) {
-    std::vector<double> fracs;
-    bool ok = true;
-    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
-      const RootedTree tree = randomTree(k, seed * 977 + k);
-      const auto sel = emptyNodeSelection(tree);
-      validateSelection(tree, sel);  // throws on any lemma violation
-      const double frac = double(sel.emptyCount()) / double(k);
-      fracs.push_back(frac);
-      ok &= sel.emptyCount() * 3 + 2 >= k;
-    }
-    const Summary s = summarize(fracs);
-    t.row()
-        .cell(std::uint64_t{k})
-        .cell(std::uint64_t{32})
-        .cell(s.min, 3)
-        .cell(s.mean, 3)
-        .cell(std::string(ok ? "holds" : "VIOLATED"));
-  }
-  t.print(std::cout, "empty fraction on random trees");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("fig1_empty_selection", argc, argv);
 }

@@ -1,54 +1,6 @@
-// E7 — Figures 2-4 / Lemmas 2-3.
-// Cover-assignment statistics on random trees: trip lengths are <= 6
-// rounds, children-coverers handle <= 3 nodes, sibling-coverers <= 2,
-// and the measured end-to-end algorithm never builds a longer cycle
-// (OscillatorSystem asserts this during every RootedSyncDisp run).
-#include <iostream>
+// E7 — Figures 2-4 / Lemmas 2-3 (body: src/exp/benches_figs.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/empty_selection.hpp"
-#include "bench_common.hpp"
-#include "util/rng.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-namespace {
-RootedTree randomTree(std::uint32_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::int64_t> parent(n);
-  parent[0] = -1;
-  for (std::uint32_t v = 1; v < n; ++v)
-    parent[v] = static_cast<std::int64_t>(rng.below(v));
-  return RootedTree::fromParentArray(parent, 0);
-}
-}  // namespace
-
-int main() {
-  std::cout << "# E7: Figs. 2-4 / Lemmas 2-3 — oscillation covers\n";
-  Table t({"k", "coverers", "childType", "siblingType", "maxCovered", "maxTripRounds"});
-  for (const std::uint32_t k : kSweep(4, 11)) {
-    std::uint32_t coverers = 0, child = 0, sibling = 0, maxCovered = 0, maxTrip = 0;
-    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
-      const RootedTree tree = randomTree(k, seed * 31 + k);
-      const auto sel = emptyNodeSelection(tree);
-      for (std::uint32_t v = 0; v < k; ++v) {
-        if (sel.coverType[v] == CoverType::None) continue;
-        ++coverers;
-        child += sel.coverType[v] == CoverType::Children;
-        sibling += sel.coverType[v] == CoverType::Siblings;
-        const auto covered = static_cast<std::uint32_t>(sel.covers[v].size());
-        maxCovered = std::max(maxCovered, covered);
-        maxTrip = std::max(maxTrip, oscillationTripRounds(sel.coverType[v], covered));
-      }
-    }
-    t.row()
-        .cell(std::uint64_t{k})
-        .cell(std::uint64_t{coverers})
-        .cell(std::uint64_t{child})
-        .cell(std::uint64_t{sibling})
-        .cell(std::uint64_t{maxCovered})
-        .cell(std::uint64_t{maxTrip});
-  }
-  t.print(std::cout, "cover statistics (Lemma 2 bound: maxTripRounds <= 6)");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("fig2_oscillation", argc, argv);
 }

@@ -1,37 +1,6 @@
-// E8 — Figure 5 / Lemma 4.
-// Sync_Probe is O(1) rounds regardless of node degree: the longest single
-// probe during a full RootedSyncDisp run must stay flat while the hub
-// degree grows by 16x.
-#include <iostream>
+// E8 — Figure 5 / Lemma 4 (body: src/exp/benches_figs.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/placement.hpp"
-#include "algo/sync_rooted.hpp"
-#include "bench_common.hpp"
-#include "core/sync_engine.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E8: Fig. 5 / Lemma 4 — Sync_Probe rounds vs degree\n";
-  Table t({"graph", "Delta", "k", "probes", "maxProbeRounds", "avgIter/probe"});
-  const auto k = static_cast<std::uint32_t>(64 * scale());
-  for (const std::uint32_t hub : {128u, 256u, 512u, 1024u, 2048u}) {
-    const Graph g = makeStar(hub + 1).build(PortLabeling::RandomPermutation, 7);
-    const Placement p = rootedPlacement(g, k, 0, 5);
-    SyncEngine engine(g, p.positions, p.ids);
-    RootedSyncDispersion algo(engine);
-    algo.start();
-    engine.run(100000000ULL);
-    const auto& s = algo.stats();
-    t.row()
-        .cell("star")
-        .cell(std::uint64_t{g.maxDegree()})
-        .cell(std::uint64_t{k})
-        .cell(s.probes)
-        .cell(s.maxProbeRounds)
-        .cell(double(s.probeIterations) / double(s.probes), 2);
-  }
-  t.print(std::cout, "probe cost is degree-independent (flat column 5)");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("fig5_sync_probe", argc, argv);
 }

@@ -1,39 +1,6 @@
-// E10 — Figure 6 / Lemma 6.
-// Guest_See_Off escorts g guests home in O(log g) pairing sweeps: on a
-// clique the guest set roughly equals the settled neighborhood, so the
-// average number of see-off sweeps per DFS step must track log2, not
-// linear.
-#include <cmath>
-#include <iostream>
+// E10 — Figure 6 / Lemma 6 (body: src/exp/benches_figs.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/async_rooted.hpp"
-#include "algo/placement.hpp"
-#include "bench_common.hpp"
-#include "core/async_engine.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E10: Fig. 6 / Lemma 6 — Guest_See_Off sweeps\n";
-  Table t({"graph", "k", "seeOffSweeps", "steps", "sweeps/step", "log2(k)"});
-  for (const std::uint32_t k : kSweep(4, 8)) {
-    const Graph g = makeComplete(k).build(PortLabeling::RandomPermutation, 9);
-    const Placement p = rootedPlacement(g, k, 0, 7);
-    AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(k));
-    RootedAsyncDispersion algo(engine);
-    algo.start();
-    engine.run(400000000ULL);
-    const auto& s = algo.stats();
-    const std::uint64_t steps = s.forwardMoves + s.backtracks;
-    t.row()
-        .cell("complete")
-        .cell(std::uint64_t{k})
-        .cell(s.seeOffSweeps)
-        .cell(steps)
-        .cell(double(s.seeOffSweeps) / double(steps), 2)
-        .cell(std::log2(double(k)), 2);
-  }
-  t.print(std::cout, "see-off sweeps per step track log2(k)");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("fig6_guest_see_off", argc, argv);
 }

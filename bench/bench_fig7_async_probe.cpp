@@ -1,37 +1,6 @@
-// E9 — Figure 7 / Lemma 5.
-// Async_Probe finds a fully unsettled neighbor in O(log k) iterations via
-// helper doubling: average probe iterations per DFS step must grow
-// logarithmically (not linearly) with k on dense graphs.
-#include <cmath>
-#include <iostream>
+// E9 — Figure 7 / Lemma 5 (body: src/exp/benches_figs.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/async_rooted.hpp"
-#include "algo/placement.hpp"
-#include "bench_common.hpp"
-#include "core/async_engine.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E9: Fig. 7 / Lemma 5 — Async_Probe iterations vs k\n";
-  Table t({"graph", "k", "probes", "iter/probe", "log2(k)", "guests"});
-  for (const std::uint32_t k : kSweep(4, 8)) {
-    const Graph g = makeComplete(k).build(PortLabeling::RandomPermutation, 3);
-    const Placement p = rootedPlacement(g, k, 0, 5);
-    AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(k));
-    RootedAsyncDispersion algo(engine);
-    algo.start();
-    engine.run(400000000ULL);
-    const auto& s = algo.stats();
-    t.row()
-        .cell("complete")
-        .cell(std::uint64_t{k})
-        .cell(s.probes)
-        .cell(double(s.probeIterations) / double(s.probes), 2)
-        .cell(std::log2(double(k)), 2)
-        .cell(s.guestsRecruited);
-  }
-  t.print(std::cout, "iterations per probe track log2(k), not k");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("fig7_async_probe", argc, argv);
 }

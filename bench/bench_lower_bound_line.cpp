@@ -1,29 +1,6 @@
-// E11 — the Ω(k) lower-bound anchor (§1).
-// On a path with all k agents at one end, any algorithm needs >= k-1
-// rounds.  Reported: measured rounds / k for every algorithm — the paper's
-// algorithm should sit at a small constant.
-#include <iostream>
+// E11 — the Ω(k) lower-bound anchor (body: src/exp/benches_misc.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E11: lower-bound anchor — path, all agents at one end\n";
-  Table t({"k", "RootedSync/k", "Sudo-style/k", "KS/k", "RootedAsync(ep)/k"});
-  for (const std::uint32_t k : kSweep(5, 9)) {
-    const auto a = runCase("path", k, Algorithm::RootedSync, 1, "round_robin", 3, 1.5);
-    const auto b = runCase("path", k, Algorithm::GeneralSync, 1, "round_robin", 3, 1.5);
-    const auto c = runCase("path", k, Algorithm::KsSync, 1, "round_robin", 3, 1.5);
-    const auto d = runCase("path", k, Algorithm::RootedAsync, 1, "round_robin", 3, 1.5);
-    t.row()
-        .cell(std::uint64_t{k})
-        .cell(double(a.run.time) / k, 2)
-        .cell(double(b.run.time) / k, 2)
-        .cell(double(c.run.time) / k, 2)
-        .cell(double(d.run.time) / k, 2);
-  }
-  t.print(std::cout, "time/k ratios (lower bound = 1.0)");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("lower_bound_line", argc, argv);
 }

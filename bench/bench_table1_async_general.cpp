@@ -1,45 +1,6 @@
-// E4 — Table 1, ASYNC general rows.
-//
-// Measures GeneralAsyncDisp (Theorem 8.2 = the RootedAsyncDisp growing
-// phase composed with KS subsumption, collapse walks and squatting) from
-// general initial configurations with ℓ > 1 source nodes, against the
-// O(k log k)-epoch claim, across adversarial schedulers.  The ℓ = 1 column
-// is kept as the rooted reference point so the general rows can be read as
-// a multiplicative overhead over the growing phase alone.
-#include <iostream>
+// E4 — Table 1, ASYNC general rows (body: src/exp/benches_table1.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E4: Table 1 — ASYNC general (GeneralAsyncDisp, Theorem 8.2)\n";
-  Table t({"family", "k", "l", "sched", "epochs", "epochs/(k log k)"});
-  std::vector<double> ks, es;
-  for (const auto& family : {std::string("er"), std::string("grid")}) {
-    for (const std::uint32_t k : kSweep(5, 8)) {
-      for (const std::uint32_t l : {1u, 4u, 16u}) {
-        for (const char* sched : {"round_robin", "uniform", "weighted"}) {
-          const auto r = runCase(family, k, Algorithm::GeneralAsync, l, sched, 9);
-          if (!r.run.dispersed) continue;
-          const double lg = std::log2(double(k));
-          t.row()
-              .cell(family)
-              .cell(std::uint64_t{k})
-              .cell(std::uint64_t{l})
-              .cell(std::string(sched))
-              .cell(r.run.time)
-              .cell(double(r.run.time) / (k * lg), 2);
-          if (family == "er" && l == 4 && std::string(sched) == "round_robin") {
-            ks.push_back(k);
-            es.push_back(double(r.run.time));
-          }
-        }
-      }
-    }
-  }
-  t.print(std::cout, "ASYNC general dispersion under schedulers");
-  if (ks.size() >= 2) printDiagnosis("er/GeneralAsync(l=4)", ks, es);
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_async_general", argc, argv);
 }

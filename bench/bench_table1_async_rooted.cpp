@@ -1,45 +1,6 @@
-// E2 — Table 1, ASYNC rooted rows.
-// Epochs vs k for RootedAsyncDisp (Theorem 7.1, O(k log k)) against the KS
-// baseline (O(min{m, kΔ})), under several fair adversarial schedulers.
-#include <iostream>
+// E2 — Table 1, ASYNC rooted rows (body: src/exp/benches_table1.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E2: Table 1 — ASYNC rooted (epochs vs k)\n";
-  for (const auto& family : {std::string("er"), std::string("complete"),
-                             std::string("star")}) {
-    Table t({"k", "Delta", "sched", "RootedAsync(ours)", "KS-async",
-             "ours/(k log k)", "ks/min(m,kDelta)"});
-    std::vector<double> ks, ours;
-    for (const std::uint32_t k : kSweep(5, 8)) {
-      const double nk = family == "complete" ? 1.0 : 2.0;
-      for (const char* sched : {"round_robin", "uniform"}) {
-        const auto a = runCase(family, k, Algorithm::RootedAsync, 1, sched, 5, nk);
-        const auto b = runCase(family, k, Algorithm::KsAsync, 1, sched, 5, nk);
-        if (!a.run.dispersed || !b.run.dispersed) continue;
-        const double lg = std::log2(double(k));
-        const double ksBound =
-            std::min<double>(double(a.edges), double(k) * a.maxDegree);
-        t.row()
-            .cell(std::uint64_t{k})
-            .cell(std::uint64_t{a.maxDegree})
-            .cell(std::string(sched))
-            .cell(a.run.time)
-            .cell(b.run.time)
-            .cell(double(a.run.time) / (k * lg), 2)
-            .cell(double(b.run.time) / ksBound, 2);
-        if (std::string(sched) == "round_robin") {
-          ks.push_back(k);
-          ours.push_back(double(a.run.time));
-        }
-      }
-    }
-    t.print(std::cout, "family: " + family);
-    if (ks.size() >= 2) printDiagnosis(family + "/RootedAsync", ks, ours);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_async_rooted", argc, argv);
 }

@@ -1,41 +1,6 @@
-// E5 — Table 1 memory column.
-// Max persistent bits per agent vs (k, Δ) for every algorithm; the paper
-// claims O(log(k+Δ)) for all of them.  The report prints the measured
-// high-water mark next to log2(k+Δ): the ratio must stay bounded as k
-// doubles.
-#include <iostream>
+// E5 — Table 1 memory column (body: src/exp/benches_table1.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E5: Table 1 — memory (max persistent bits/agent)\n";
-  Table t({"algo", "family", "k", "Delta", "bits", "log2(k+Delta)", "bits/log"});
-  for (const Algorithm algo : {Algorithm::RootedSync, Algorithm::RootedAsync,
-                               Algorithm::GeneralSync, Algorithm::GeneralAsync,
-                               Algorithm::KsSync, Algorithm::KsAsync}) {
-    // GeneralAsync runs from a genuine general configuration (ℓ = 4); the
-    // others keep their Table 1 placements (GeneralSync's ℓ = 1 is the
-    // Sudo-style baseline row).
-    const std::uint32_t clusters = algo == Algorithm::GeneralAsync ? 4 : 1;
-    for (const auto& family : {std::string("er"), std::string("star")}) {
-      for (const std::uint32_t k : kSweep(5, 8)) {
-        const auto r = runCase(family, k, algo, clusters, "round_robin", 11);
-        if (!r.run.dispersed) continue;
-        const double lg = std::log2(double(k) + double(r.maxDegree));
-        t.row()
-            .cell(algorithmName(algo))
-            .cell(family)
-            .cell(std::uint64_t{k})
-            .cell(std::uint64_t{r.maxDegree})
-            .cell(r.run.maxMemoryBits)
-            .cell(lg, 1)
-            .cell(double(r.run.maxMemoryBits) / lg, 1);
-      }
-    }
-  }
-  t.print(std::cout, "memory vs O(log(k+Delta))");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_memory", argc, argv);
 }

@@ -1,35 +1,6 @@
-// E3 — Table 1, SYNC general rows.
-// Rounds vs k for the multi-source case (ℓ start nodes) with KS
-// subsumption.  The growing phase here is the helper-doubling one (see
-// DESIGN.md §4: the Theorem 8.1 integration of the oscillation machinery
-// into the general case is the documented gap), so the expected shape is
-// the [36]-level O(k log k)-ish curve, still far below the KS baseline.
-#include <iostream>
+// E3 — Table 1, SYNC general rows (body: src/exp/benches_table1.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E3: Table 1 — SYNC general (rounds vs k and l)\n";
-  Table t({"family", "k", "l", "rounds", "rounds/(k log k)", "dispersed"});
-  for (const auto& family : {std::string("er"), std::string("grid"),
-                             std::string("randtree")}) {
-    for (const std::uint32_t k : kSweep(5, 8)) {
-      for (const std::uint32_t l : {2u, 4u, 8u}) {
-        const auto r = runCase(family, k, Algorithm::GeneralSync, l, "round_robin", 7);
-        const double lg = std::log2(double(k));
-        t.row()
-            .cell(family)
-            .cell(std::uint64_t{k})
-            .cell(std::uint64_t{l})
-            .cell(r.run.time)
-            .cell(double(r.run.time) / (k * lg), 2)
-            .cell(std::string(r.run.dispersed ? "yes" : "NO"));
-      }
-    }
-  }
-  t.print(std::cout, "GeneralSync across start-node counts");
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_sync_general", argc, argv);
 }

@@ -1,52 +1,6 @@
-// E1 — Table 1, SYNC rooted rows.
-// Measures rounds vs k for the paper's RootedSyncDisp (Theorem 6.1, O(k)),
-// the Sudo-style helper-doubling baseline (O(k log k); GeneralSync with
-// ℓ=1) and the KS baseline (O(min{m, kΔ})), across graph families.  The
-// claim to check: ours has flat rounds/k; Sudo-style has flat
-// rounds/(k log k); KS blows up on dense graphs.
-#include <iostream>
+// E1 — Table 1, SYNC rooted rows (body: src/exp/benches_table1.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "bench_common.hpp"
-
-using namespace disp;
-using namespace disp::bench;
-
-int main() {
-  std::cout << "# E1: Table 1 — SYNC rooted (rounds vs k)\n";
-  const std::vector<std::string> families{"er", "complete", "star", "path", "randtree"};
-  const std::vector<Algorithm> algos{Algorithm::RootedSync, Algorithm::GeneralSync,
-                                     Algorithm::KsSync};
-
-  for (const auto& family : families) {
-    Table t({"k", "n", "m", "Delta", "RootedSync(ours)", "Sudo-style", "KS-baseline",
-             "ours/k", "sudo/(k log k)"});
-    std::vector<double> ks, ours;
-    for (const std::uint32_t k : kSweep(5, family == "complete" ? 8 : 9)) {
-      // complete graphs need n=k to stress KS; other families use n=2k.
-      const double nk = family == "complete" ? 1.0 : 2.0;
-      const auto a = runCase(family, k, Algorithm::RootedSync, 1, "round_robin", 3, nk);
-      const auto b = runCase(family, k, Algorithm::GeneralSync, 1, "round_robin", 3, nk);
-      const auto c = runCase(family, k, Algorithm::KsSync, 1, "round_robin", 3, nk);
-      if (!a.run.dispersed || !b.run.dispersed || !c.run.dispersed) {
-        std::cout << "!! undispersed case " << family << " k=" << k << "\n";
-        continue;
-      }
-      const double lg = std::log2(double(k));
-      t.row()
-          .cell(std::uint64_t{k})
-          .cell(std::uint64_t{a.n})
-          .cell(a.edges)
-          .cell(std::uint64_t{a.maxDegree})
-          .cell(a.run.time)
-          .cell(b.run.time)
-          .cell(c.run.time)
-          .cell(double(a.run.time) / k, 1)
-          .cell(double(b.run.time) / (k * lg), 2);
-      ks.push_back(k);
-      ours.push_back(double(a.run.time));
-    }
-    t.print(std::cout, "family: " + family);
-    if (ks.size() >= 2) printDiagnosis(family + "/RootedSync", ks, ours);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_sync_rooted", argc, argv);
 }

@@ -1,57 +1,6 @@
-// Wall-clock microbenchmarks (google-benchmark): how fast the *simulator*
-// itself runs each algorithm.  This is engineering telemetry, not a paper
-// claim — the paper's "time" is rounds/epochs, measured by the other
-// benches.
-#include <benchmark/benchmark.h>
+// E14 — simulator wall-clock telemetry (body: src/exp/benches_misc.cpp).
+#include "exp/bench_registry.hpp"
 
-#include "algo/runner.hpp"
-#include "graph/generators.hpp"
-
-namespace {
-
-using namespace disp;
-
-void BM_RootedSync(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = makeFamily({"er", 2 * k, 7});
-  for (auto _ : state) {
-    const Placement p = rootedPlacement(g, k, 0, 3);
-    benchmark::DoNotOptimize(runDispersion(g, p, {Algorithm::RootedSync}));
-  }
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("wallclock", argc, argv);
 }
-BENCHMARK(BM_RootedSync)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_RootedAsync(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = makeFamily({"er", 2 * k, 7});
-  for (auto _ : state) {
-    const Placement p = rootedPlacement(g, k, 0, 3);
-    benchmark::DoNotOptimize(
-        runDispersion(g, p, {Algorithm::RootedAsync, "uniform", 5}));
-  }
-}
-BENCHMARK(BM_RootedAsync)->Arg(64)->Arg(128);
-
-void BM_KsSync(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = makeFamily({"er", 2 * k, 7});
-  for (auto _ : state) {
-    const Placement p = rootedPlacement(g, k, 0, 3);
-    benchmark::DoNotOptimize(runDispersion(g, p, {Algorithm::KsSync}));
-  }
-}
-BENCHMARK(BM_KsSync)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_GeneralSync(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  const Graph g = makeFamily({"er", 2 * k, 7});
-  for (auto _ : state) {
-    const Placement p = clusteredPlacement(g, k, 4, 3);
-    benchmark::DoNotOptimize(runDispersion(g, p, {Algorithm::GeneralSync}));
-  }
-}
-BENCHMARK(BM_GeneralSync)->Arg(64)->Arg(128);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Unified experiment driver: selects registered sweeps by name, so one
+// binary replaces the per-experiment ones (which remain as thin wrappers).
+//
+//   disp_bench --list
+//   disp_bench all --threads=8 --jsonl=run.jsonl
+//   disp_bench table1_sync_rooted fig5_sync_probe --seeds=1,2,3,4,5
+#include <iostream>
+
+#include "exp/bench_registry.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void printUsage(std::ostream& os) {
+  os << "usage: disp_bench [--list] [--threads=N] [--seeds=a,b,c] [--jsonl=PATH]\n"
+        "                  <sweep>... | all\n\n"
+        "sweeps:\n";
+  for (const auto& def : disp::exp::benchRegistry()) {
+    os << "  " << def.name << "\n      " << def.summary << "\n";
+  }
+  os << "\nDISP_BENCH_SCALE in {0.5, 1, 2, 4} scales every sweep.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const disp::Cli cli(argc, argv);
+    if (cli.has("list") || cli.has("help")) {
+      printUsage(std::cout);
+      return 0;
+    }
+    std::vector<std::string> names = cli.positional();
+    if (names.empty()) {
+      printUsage(std::cerr);
+      return 2;
+    }
+    if (names.size() == 1 && names[0] == "all") {
+      names.clear();
+      for (const auto& def : disp::exp::benchRegistry()) names.push_back(def.name);
+    }
+    return disp::exp::runBenches(names, cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

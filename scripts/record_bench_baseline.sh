@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Snapshots the bench_table1_* binaries into BENCH_table1.json so future
-# PRs have a perf trajectory to compare against.  Run from the repo root
+# Snapshots the Table 1 sweeps into BENCH_table1.json so future PRs have a
+# perf trajectory to compare against.  Shells the unified disp_bench driver
+# once with a JSON-lines sink and repackages the records into the snapshot
+# layout (rows keyed by table column, fit lines).  Run from the repo root
 # after a Release build in ./build; pass a build dir to override.
 set -euo pipefail
 
@@ -8,55 +10,40 @@ BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="${REPO_ROOT}/BENCH_table1.json"
 
+SWEEPS=(table1_sync_rooted table1_sync_general table1_async_rooted
+        table1_async_general table1_memory)
+
 cd "${REPO_ROOT}"
-python3 - "$BUILD_DIR" "$OUT" <<'EOF'
-import json, re, subprocess, sys
+if [ ! -x "${BUILD_DIR}/disp_bench" ]; then
+  echo "error: ${BUILD_DIR}/disp_bench not found — build first" \
+       "(cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
 
-build_dir, out_path = sys.argv[1], sys.argv[2]
-benches = [
-    "bench_table1_sync_rooted",
-    "bench_table1_sync_general",
-    "bench_table1_async_rooted",
-    "bench_table1_async_general",
-    "bench_table1_memory",
-]
+JSONL="$(mktemp)"
+trap 'rm -f "${JSONL}"' EXIT
+"${BUILD_DIR}/disp_bench" "${SWEEPS[@]}" --jsonl="${JSONL}" > /dev/null
 
-def parse_markdown_tables(text):
-    """Returns rows from every GitHub-markdown table in the bench output."""
-    rows, header = [], None
-    for line in text.splitlines():
-        line = line.strip()
-        if not (line.startswith("|") and line.endswith("|")):
-            header = None
-            continue
-        cells = [c.strip() for c in line.strip("|").split("|")]
-        if all(re.fullmatch(r":?-+:?", c) for c in cells):
-            continue  # separator row
-        if header is None:
-            header = cells
-            continue
-        rows.append(dict(zip(header, cells)))
-    return rows
+python3 - "${JSONL}" "${OUT}" "${SWEEPS[@]}" <<'EOF'
+import json, sys
 
-snapshot = {"scale": 1.0, "benches": {}}
-for name in benches:
-    try:
-        proc = subprocess.run([f"{build_dir}/{name}"], capture_output=True, text=True)
-    except FileNotFoundError:
-        sys.exit(f"error: {build_dir}/{name} not found — build first "
-                 f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
-    if proc.returncode != 0:
-        print(f"warning: {name} exited {proc.returncode}; skipped", file=sys.stderr)
-        continue
-    fits = re.findall(r"^fit\[.*$", proc.stdout, flags=re.M)
-    snapshot["benches"][name] = {
-        "rows": parse_markdown_tables(proc.stdout),
-        "fits": fits,
-    }
-    print(f"{name}: {len(snapshot['benches'][name]['rows'])} rows")
+jsonl_path, out_path, sweeps = sys.argv[1], sys.argv[2], sys.argv[3:]
+benches = {f"bench_{name}": {"rows": [], "fits": []} for name in sweeps}
+with open(jsonl_path) as f:
+    for line in f:
+        rec = json.loads(line)
+        key = f"bench_{rec.pop('sweep')}"
+        if "fit" in rec:
+            benches[key]["fits"].append(rec["fit"])
+        else:
+            rec.pop("table", None)
+            benches[key]["rows"].append(rec)
 
+snapshot = {"scale": 1.0, "benches": benches}
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=1)
     f.write("\n")
+for name, bench in benches.items():
+    print(f"{name}: {len(bench['rows'])} rows")
 print(f"wrote {out_path}")
 EOF

@@ -50,6 +50,12 @@ struct RunSpec {
 /// Runs the requested algorithm to completion and reports the outcome.
 /// Throws std::invalid_argument on spec/placement mismatch and
 /// std::runtime_error if the limit is hit (protocol bug or too-small cap).
+///
+/// Thread safety: every piece of mutable state (engine, fibers, scheduler,
+/// memory ledger, Rngs) is constructed per call, and Graph is immutable
+/// after build, so concurrent calls — including on a shared Graph — are
+/// safe and deterministic per seed (the exp/ BatchRunner relies on this;
+/// see DESIGN.md §5).
 [[nodiscard]] RunResult runDispersion(const Graph& g, const Placement& placement,
                                       const RunSpec& spec);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/cli.hpp"
 
 namespace disp {
 
@@ -104,16 +105,58 @@ std::unique_ptr<Scheduler> makeWeightedScheduler(std::uint32_t k,
   return std::make_unique<Weighted>(k, std::move(slowSet), skew, seed);
 }
 
+namespace {
+
+// Parses the colon-separated numeric suffix of "weighted:skew[:slowCount]".
+std::vector<std::uint32_t> parseSchedulerParams(const std::string& name,
+                                                std::string::size_type from) {
+  std::vector<std::uint32_t> params;
+  while (from != std::string::npos) {
+    const auto colon = name.find(':', from);
+    const std::string tok = name.substr(from, colon == std::string::npos
+                                                  ? std::string::npos
+                                                  : colon - from);
+    std::uint64_t v = 0;
+    try {
+      v = parseU64(tok, "scheduler");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad scheduler parameter in: " + name);
+    }
+    if (v == 0 || v > 0xffffffffULL) {
+      throw std::invalid_argument("bad scheduler parameter in: " + name);
+    }
+    params.push_back(static_cast<std::uint32_t>(v));
+    from = colon == std::string::npos ? std::string::npos : colon + 1;
+  }
+  return params;
+}
+
+}  // namespace
+
 std::unique_ptr<Scheduler> makeSchedulerByName(const std::string& name, std::uint32_t k,
                                                std::uint64_t seed) {
   if (name == "round_robin") return makeRoundRobinScheduler(k);
   if (name == "shuffled") return makeShuffledSweepScheduler(k, seed);
   if (name == "uniform") return makeUniformScheduler(k, seed);
-  if (name == "weighted") {
-    // Slow down the lowest-index agent (the async leader is typically the
-    // max-ID agent, placed last, so index 0 is usually a follower — this
-    // stresses group-reassembly waits).
-    return makeWeightedScheduler(k, {0}, 8, seed);
+  if (name == "weighted" || name.rfind("weighted:", 0) == 0) {
+    // Slow down the lowest-index agents (the async leader is typically the
+    // max-ID agent, placed last, so low indices are usually followers — this
+    // stresses group-reassembly waits).  "weighted" = the historical 8x skew
+    // on agent 0; "weighted:SKEW" and "weighted:SKEW:SLOWCOUNT" configure
+    // the skew factor and the size of the slow set.
+    std::uint32_t skew = 8, slowCount = 1;
+    if (name.size() > 8) {
+      const auto params = parseSchedulerParams(name, 9);
+      if (params.empty() || params.size() > 2) {
+        throw std::invalid_argument("unknown scheduler: " + name);
+      }
+      skew = params[0];
+      if (params.size() == 2) slowCount = params[1];
+    }
+    DISP_REQUIRE(slowCount <= k, "weighted slow set larger than agent count");
+    std::vector<std::uint32_t> slowSet(slowCount);
+    std::iota(slowSet.begin(), slowSet.end(), 0U);
+    return makeWeightedScheduler(k, std::move(slowSet), skew, seed);
   }
   throw std::invalid_argument("unknown scheduler: " + name);
 }

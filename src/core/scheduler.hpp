@@ -44,7 +44,10 @@ class Scheduler {
     std::uint64_t seed);
 
 /// Named factory used by benches: round_robin | shuffled | uniform |
-/// weighted (weighted slows the first agent by 8x by default).
+/// weighted.  The weighted policy accepts optional parameters,
+/// "weighted:SKEW" or "weighted:SKEW:SLOWCOUNT": the first SLOWCOUNT
+/// agents (default 1) are activated SKEW (default 8) times less often
+/// than the rest.  Plain "weighted" is the historical 8x skew on agent 0.
 [[nodiscard]] std::unique_ptr<Scheduler> makeSchedulerByName(const std::string& name,
                                                              std::uint32_t k,
                                                              std::uint64_t seed);

@@ -1,0 +1,134 @@
+#include "exp/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "core/scheduler.hpp"
+#include "graph/generators.hpp"
+
+namespace disp::exp {
+
+void parallelFor(unsigned threads, std::size_t jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, jobs));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+SweepResult BatchRunner::run(const SweepSpec& spec) const {
+  SweepResult result;
+  result.spec = spec;
+
+  const std::vector<CellKey> keys = enumerateCells(spec);
+
+  // A typo'd scheduler name would otherwise degrade every async cell into
+  // an errored replicate; validate the axis up front so it fails loudly.
+  // (Validated at the spec's largest k: a weighted slow set bigger than a
+  // *smaller* k is a per-cell condition, handled like any placement
+  // mismatch below.)
+  const std::uint32_t maxK = *std::max_element(spec.ks.begin(), spec.ks.end());
+  for (const std::string& sched : spec.schedulers) {
+    (void)makeSchedulerByName(sched, maxK, 1);
+  }
+  result.cells.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    result.cells[i].key = keys[i];
+    result.cells[i].replicates.resize(spec.seeds.size());
+  }
+
+  // Build each distinct graph once.  Graphs differ only by (family, n,
+  // seed) — n = k * nOverK and the labeling are fixed per spec — so cells
+  // that vary algorithm / scheduler / clusters share one instance.
+  using GraphKeyT = std::tuple<std::string, std::uint32_t, std::uint64_t>;
+  std::map<GraphKeyT, Graph> graphs;
+  for (const CellKey& key : keys) {
+    const auto n = static_cast<std::uint32_t>(double(key.k) * spec.nOverK);
+    for (const std::uint64_t seed : spec.seeds) {
+      graphs.try_emplace({key.family, n, seed});
+    }
+  }
+  {
+    std::vector<std::pair<const GraphKeyT*, Graph*>> toBuild;
+    toBuild.reserve(graphs.size());
+    for (auto& [gk, g] : graphs) toBuild.emplace_back(&gk, &g);
+    parallelFor(options_.threads, toBuild.size(), [&](std::size_t i) {
+      const auto& [family, n, seed] = *toBuild[i].first;
+      *toBuild[i].second = makeFamily({family, n, seed, spec.labeling});
+    });
+  }
+
+  // One work item per (cell, replicate); each writes only its own slot.
+  const std::size_t reps = spec.seeds.size();
+  parallelFor(options_.threads, keys.size() * reps, [&](std::size_t job) {
+    const std::size_t cellIx = job / reps;
+    const std::size_t repIx = job % reps;
+    const CellKey& key = keys[cellIx];
+    CaseSpec c;
+    c.family = key.family;
+    c.k = key.k;
+    c.algorithm = key.algorithm;
+    c.clusters = key.clusters;
+    c.scheduler = key.scheduler;
+    c.seed = spec.seeds[repIx];
+    c.nOverK = spec.nOverK;
+    c.labeling = spec.labeling;
+    c.limit = spec.limit;
+    const auto n = static_cast<std::uint32_t>(double(key.k) * spec.nOverK);
+    const Graph& g = graphs.at({key.family, n, c.seed});
+    RunRecord& slot = result.cells[cellIx].replicates[repIx];
+    try {
+      slot = runCell(g, c);
+    } catch (const std::exception& e) {
+      // A diverging replicate (round/activation limit hit) or a cell whose
+      // algorithm rejects its placement (e.g. KS inside a clusterCounts
+      // cross-product) degrades to an undispersed record instead of
+      // aborting the rest of the sweep.
+      slot = RunRecord{};
+      slot.n = g.nodeCount();
+      slot.maxDegree = g.maxDegree();
+      slot.edges = g.edgeCount();
+      slot.error = e.what();
+    }
+  });
+
+  for (Cell& cell : result.cells) {
+    std::vector<double> times;
+    times.reserve(cell.replicates.size());
+    for (const RunRecord& r : cell.replicates) {
+      if (r.error.empty()) times.push_back(double(r.run.time));
+    }
+    cell.time = summarize(times);
+  }
+  return result;
+}
+
+}  // namespace disp::exp

@@ -1,0 +1,42 @@
+#pragma once
+// Parallel execution of SweepSpecs.
+//
+// BatchRunner enumerates a spec's cells, constructs every distinct graph
+// exactly once (immutable Graph instances are shared by const reference
+// across all concurrent runs that use them — runDispersion builds all
+// mutable state per call, see DESIGN.md §5), then executes the
+// (cell × seed) work items over a std::thread pool.  Results land in
+// preallocated slots, so the output is bit-identical for any worker count.
+
+#include <cstddef>
+#include <functional>
+
+#include "exp/sweep.hpp"
+
+namespace disp::exp {
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware_concurrency, 1 = run inline.
+  unsigned threads = 0;
+};
+
+/// Runs fn(0) .. fn(jobs-1), work-stealing over `threads` workers
+/// (0 = hardware_concurrency).  fn must write only to per-index state.
+/// The first exception thrown by any job is rethrown after all workers
+/// drain.
+void parallelFor(unsigned threads, std::size_t jobs,
+                 const std::function<void(std::size_t)>& fn);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {}) : options_(options) {}
+
+  /// Executes every (cell, seed) of the spec; cells come back in canonical
+  /// enumeration order regardless of scheduling.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec) const;
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace disp::exp

@@ -1,0 +1,112 @@
+#include "exp/bench_registry.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "exp/benches.hpp"
+
+namespace disp::exp {
+
+const std::vector<BenchDef>& benchRegistry() {
+  static const std::vector<BenchDef> kRegistry{
+      {"table1_sync_rooted", "E1: rounds vs k, SYNC rooted (Theorem 6.1 vs baselines)",
+       &benchTable1SyncRooted},
+      {"table1_sync_general", "E3: rounds vs k and l, SYNC general (§8.1)",
+       &benchTable1SyncGeneral},
+      {"table1_async_rooted", "E2: epochs vs k, ASYNC rooted (Theorem 7.1)",
+       &benchTable1AsyncRooted},
+      {"table1_async_general", "E4: epochs vs k and l, ASYNC general (Theorem 8.2)",
+       &benchTable1AsyncGeneral},
+      {"table1_memory", "E5: max persistent bits/agent vs O(log(k+Delta))",
+       &benchTable1Memory},
+      {"fig1_empty_selection", "E6: empty-node fraction on random trees (Lemma 1)",
+       &benchFig1EmptySelection},
+      {"fig2_oscillation", "E7: cover-assignment statistics (Lemmas 2-3)",
+       &benchFig2Oscillation},
+      {"fig5_sync_probe", "E8: Sync_Probe rounds vs degree (Lemma 4)",
+       &benchFig5SyncProbe},
+      {"fig6_guest_see_off", "E10: Guest_See_Off sweeps vs log k (Lemma 6)",
+       &benchFig6GuestSeeOff},
+      {"fig7_async_probe", "E9: Async_Probe iterations vs log k (Lemma 5)",
+       &benchFig7AsyncProbe},
+      {"lower_bound_line", "E11: time/k on the Omega(k) path instance",
+       &benchLowerBoundLine},
+      {"ablation_techniques", "E12: KS -> doubling -> full technique levels",
+       &benchAblationTechniques},
+      {"ablation_scheduler", "E13: epoch robustness across ASYNC schedulers",
+       &benchAblationScheduler},
+      {"wallclock", "E14: simulator wall-clock per run (telemetry)",
+       &benchWallclock},
+  };
+  return kRegistry;
+}
+
+const BenchDef* findBench(const std::string& name) {
+  for (const BenchDef& def : benchRegistry()) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+int runBenches(const std::vector<std::string>& names, const Cli& cli) {
+  for (const std::string& name : names) {
+    if (!findBench(name)) {
+      std::cerr << "error: unknown sweep '" << name << "' — known sweeps:\n";
+      for (const BenchDef& def : benchRegistry()) {
+        std::cerr << "  " << def.name << "\n";
+      }
+      return 2;
+    }
+  }
+
+  std::unique_ptr<std::ofstream> jsonlFile;
+  std::unique_ptr<JsonlWriter> jsonl;
+  const std::string jsonlPath = cli.str("jsonl", "");
+  if (!jsonlPath.empty()) {
+    jsonlFile = std::make_unique<std::ofstream>(jsonlPath);
+    if (!*jsonlFile) {
+      std::cerr << "error: cannot open --jsonl file: " << jsonlPath << "\n";
+      return 2;
+    }
+    jsonl = std::make_unique<JsonlWriter>(*jsonlFile);
+  }
+
+  BenchContext ctx{std::cout, jsonl.get(), {}, {}};
+  const std::int64_t threads = cli.integer("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    std::cerr << "error: --threads must be in [0, 4096] (0 = hardware concurrency)\n";
+    return 2;
+  }
+  ctx.batch.threads = static_cast<unsigned>(threads);
+  ctx.seedOverride = cli.u64list("seeds");
+
+  for (const std::string& name : names) {
+    try {
+      findBench(name)->fn(ctx);
+    } catch (const std::exception& e) {
+      std::cerr << "error: sweep '" << name << "' failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (jsonlFile) {
+    jsonlFile->flush();
+    if (!*jsonlFile) {
+      std::cerr << "error: writing --jsonl file failed: " << jsonlPath << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int benchMain(const std::string& name, int argc, const char* const* argv) {
+  try {
+    const Cli cli(argc, argv);
+    return runBenches({name}, cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace disp::exp

@@ -1,0 +1,42 @@
+#pragma once
+// Named registry of experiment suites + the shared bench main.
+//
+// Every former bench binary is one registered suite; `disp_bench` selects
+// suites by name and the per-suite binaries are one-line wrappers:
+//
+//   int main(int argc, char** argv) {
+//     return disp::exp::benchMain("table1_sync_rooted", argc, argv);
+//   }
+//
+// Common flags (parsed by benchMain / runBenches):
+//   --threads=N      worker threads (0 = hardware concurrency, the default)
+//   --seeds=a,b,c    replicate seeds overriding each suite's single
+//                    historical seed; time cells become per-cell means
+//   --jsonl=PATH     mirror every table row / fit line as JSON-lines
+
+#include <string>
+#include <vector>
+
+#include "exp/sink.hpp"
+#include "util/cli.hpp"
+
+namespace disp::exp {
+
+struct BenchDef {
+  const char* name;
+  const char* summary;
+  void (*fn)(BenchContext&);
+};
+
+[[nodiscard]] const std::vector<BenchDef>& benchRegistry();
+[[nodiscard]] const BenchDef* findBench(const std::string& name);
+
+/// Runs the named suites with options from `cli`; returns a process exit
+/// code (diagnostics on stderr).
+[[nodiscard]] int runBenches(const std::vector<std::string>& names, const Cli& cli);
+
+/// Entry point for the thin per-suite binaries.
+[[nodiscard]] int benchMain(const std::string& name, int argc,
+                            const char* const* argv);
+
+}  // namespace disp::exp

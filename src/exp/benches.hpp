@@ -1,0 +1,31 @@
+#pragma once
+// The fourteen named experiment suites (the former hand-rolled bench
+// binaries), each a declarative body over the sweep/batch/sink subsystem.
+// Registered by name in bench_registry.cpp; the bench/*.cpp binaries are
+// thin one-line mains over benchMain().
+
+#include "exp/sink.hpp"
+
+namespace disp::exp {
+
+// Table 1 scaling rows (benches_table1.cpp).
+void benchTable1SyncRooted(BenchContext& ctx);    // E1
+void benchTable1AsyncRooted(BenchContext& ctx);   // E2
+void benchTable1SyncGeneral(BenchContext& ctx);   // E3
+void benchTable1AsyncGeneral(BenchContext& ctx);  // E4
+void benchTable1Memory(BenchContext& ctx);        // E5
+
+// Figure / lemma probes (benches_figs.cpp).
+void benchFig1EmptySelection(BenchContext& ctx);  // E6
+void benchFig2Oscillation(BenchContext& ctx);     // E7
+void benchFig5SyncProbe(BenchContext& ctx);       // E8
+void benchFig7AsyncProbe(BenchContext& ctx);      // E9
+void benchFig6GuestSeeOff(BenchContext& ctx);     // E10
+
+// Ablations, lower bound, wall-clock telemetry (benches_misc.cpp).
+void benchLowerBoundLine(BenchContext& ctx);      // E11
+void benchAblationTechniques(BenchContext& ctx);  // E12
+void benchAblationScheduler(BenchContext& ctx);   // E13
+void benchWallclock(BenchContext& ctx);           // E14
+
+}  // namespace disp::exp

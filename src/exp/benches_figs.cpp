@@ -1,0 +1,201 @@
+// Figure / lemma probes (E6–E10).  These need algorithm-internal stats
+// (probe counters, see-off sweeps, cover assignments), so they drive the
+// engines directly instead of going through SweepSpec; independent
+// configurations still run over the parallelFor pool with preallocated
+// result slots, so output is thread-count-independent.
+#include <cmath>
+
+#include "algo/async_rooted.hpp"
+#include "algo/empty_selection.hpp"
+#include "algo/placement.hpp"
+#include "algo/sync_rooted.hpp"
+#include "core/async_engine.hpp"
+#include "core/sync_engine.hpp"
+#include "exp/benches.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace disp::exp {
+
+namespace {
+
+RootedTree randomTree(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> parent(n);
+  parent[0] = -1;
+  for (std::uint32_t v = 1; v < n; ++v)
+    parent[v] = static_cast<std::int64_t>(rng.below(v));
+  return RootedTree::fromParentArray(parent, 0);
+}
+
+}  // namespace
+
+// E6 — Figure 1 / Lemma 1.
+// Empty_Node_Selection on random trees: the fraction of empty nodes must be
+// >= 1/3 for every tree (Lemma 1), with ~1/2 typical (lines).
+void benchFig1EmptySelection(BenchContext& ctx) {
+  const std::string name = "fig1_empty_selection";
+  ctx.out << "# E6: Fig. 1 / Lemma 1 — Empty_Node_Selection\n";
+  Table t({"k", "trees", "minEmptyFrac", "meanEmptyFrac", "lemma1 (>=0.333)"});
+  for (const std::uint32_t k : kSweep(4, 11)) {
+    std::vector<double> fracs;
+    bool ok = true;
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+      const RootedTree tree = randomTree(k, seed * 977 + k);
+      const auto sel = emptyNodeSelection(tree);
+      validateSelection(tree, sel);  // throws on any lemma violation
+      const double frac = double(sel.emptyCount()) / double(k);
+      fracs.push_back(frac);
+      ok &= sel.emptyCount() * 3 + 2 >= k;
+    }
+    const Summary s = summarize(fracs);
+    t.row()
+        .cell(std::uint64_t{k})
+        .cell(std::uint64_t{32})
+        .cell(s.min, 3)
+        .cell(s.mean, 3)
+        .cell(std::string(ok ? "holds" : "VIOLATED"));
+  }
+  emitTable(ctx, name, "empty fraction on random trees", t);
+}
+
+// E7 — Figures 2-4 / Lemmas 2-3.
+// Cover-assignment statistics on random trees: trip lengths are <= 6
+// rounds, children-coverers handle <= 3 nodes, sibling-coverers <= 2,
+// and the measured end-to-end algorithm never builds a longer cycle
+// (OscillatorSystem asserts this during every RootedSyncDisp run).
+void benchFig2Oscillation(BenchContext& ctx) {
+  const std::string name = "fig2_oscillation";
+  ctx.out << "# E7: Figs. 2-4 / Lemmas 2-3 — oscillation covers\n";
+  Table t({"k", "coverers", "childType", "siblingType", "maxCovered", "maxTripRounds"});
+  for (const std::uint32_t k : kSweep(4, 11)) {
+    std::uint32_t coverers = 0, child = 0, sibling = 0, maxCovered = 0, maxTrip = 0;
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      const RootedTree tree = randomTree(k, seed * 31 + k);
+      const auto sel = emptyNodeSelection(tree);
+      for (std::uint32_t v = 0; v < k; ++v) {
+        if (sel.coverType[v] == CoverType::None) continue;
+        ++coverers;
+        child += sel.coverType[v] == CoverType::Children;
+        sibling += sel.coverType[v] == CoverType::Siblings;
+        const auto covered = static_cast<std::uint32_t>(sel.covers[v].size());
+        maxCovered = std::max(maxCovered, covered);
+        maxTrip = std::max(maxTrip, oscillationTripRounds(sel.coverType[v], covered));
+      }
+    }
+    t.row()
+        .cell(std::uint64_t{k})
+        .cell(std::uint64_t{coverers})
+        .cell(std::uint64_t{child})
+        .cell(std::uint64_t{sibling})
+        .cell(std::uint64_t{maxCovered})
+        .cell(std::uint64_t{maxTrip});
+  }
+  emitTable(ctx, name, "cover statistics (Lemma 2 bound: maxTripRounds <= 6)", t);
+}
+
+// E8 — Figure 5 / Lemma 4.
+// Sync_Probe is O(1) rounds regardless of node degree: the longest single
+// probe during a full RootedSyncDisp run must stay flat while the hub
+// degree grows by 16x.
+void benchFig5SyncProbe(BenchContext& ctx) {
+  const std::string name = "fig5_sync_probe";
+  ctx.out << "# E8: Fig. 5 / Lemma 4 — Sync_Probe rounds vs degree\n";
+  Table t({"graph", "Delta", "k", "probes", "maxProbeRounds", "avgIter/probe"});
+  const auto k = static_cast<std::uint32_t>(64 * scale());
+  const std::vector<std::uint32_t> hubs{128, 256, 512, 1024, 2048};
+  struct Slot {
+    std::uint32_t maxDegree = 0;
+    SyncDispStats stats;
+  };
+  std::vector<Slot> slots(hubs.size());
+  parallelFor(ctx.batch.threads, hubs.size(), [&](std::size_t i) {
+    const Graph g = makeStar(hubs[i] + 1).build(PortLabeling::RandomPermutation, 7);
+    const Placement p = rootedPlacement(g, k, 0, 5);
+    SyncEngine engine(g, p.positions, p.ids);
+    RootedSyncDispersion algo(engine);
+    algo.start();
+    engine.run(100000000ULL);
+    slots[i] = {g.maxDegree(), algo.stats()};
+  });
+  for (const Slot& s : slots) {
+    t.row()
+        .cell("star")
+        .cell(std::uint64_t{s.maxDegree})
+        .cell(std::uint64_t{k})
+        .cell(s.stats.probes)
+        .cell(s.stats.maxProbeRounds)
+        .cell(double(s.stats.probeIterations) / double(s.stats.probes), 2);
+  }
+  emitTable(ctx, name, "probe cost is degree-independent (flat column 5)", t);
+}
+
+// E9 — Figure 7 / Lemma 5.
+// Async_Probe finds a fully unsettled neighbor in O(log k) iterations via
+// helper doubling: average probe iterations per DFS step must grow
+// logarithmically (not linearly) with k on dense graphs.
+void benchFig7AsyncProbe(BenchContext& ctx) {
+  const std::string name = "fig7_async_probe";
+  ctx.out << "# E9: Fig. 7 / Lemma 5 — Async_Probe iterations vs k\n";
+  Table t({"graph", "k", "probes", "iter/probe", "log2(k)", "guests"});
+  const std::vector<std::uint32_t> ks = kSweep(4, 8);
+  std::vector<AsyncDispStats> slots(ks.size());
+  parallelFor(ctx.batch.threads, ks.size(), [&](std::size_t i) {
+    const std::uint32_t k = ks[i];
+    const Graph g = makeComplete(k).build(PortLabeling::RandomPermutation, 3);
+    const Placement p = rootedPlacement(g, k, 0, 5);
+    AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(k));
+    RootedAsyncDispersion algo(engine);
+    algo.start();
+    engine.run(400000000ULL);
+    slots[i] = algo.stats();
+  });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const AsyncDispStats& s = slots[i];
+    t.row()
+        .cell("complete")
+        .cell(std::uint64_t{ks[i]})
+        .cell(s.probes)
+        .cell(double(s.probeIterations) / double(s.probes), 2)
+        .cell(std::log2(double(ks[i])), 2)
+        .cell(s.guestsRecruited);
+  }
+  emitTable(ctx, name, "iterations per probe track log2(k), not k", t);
+}
+
+// E10 — Figure 6 / Lemma 6.
+// Guest_See_Off escorts g guests home in O(log g) pairing sweeps: on a
+// clique the guest set roughly equals the settled neighborhood, so the
+// average number of see-off sweeps per DFS step must track log2, not
+// linear.
+void benchFig6GuestSeeOff(BenchContext& ctx) {
+  const std::string name = "fig6_guest_see_off";
+  ctx.out << "# E10: Fig. 6 / Lemma 6 — Guest_See_Off sweeps\n";
+  Table t({"graph", "k", "seeOffSweeps", "steps", "sweeps/step", "log2(k)"});
+  const std::vector<std::uint32_t> ks = kSweep(4, 8);
+  std::vector<AsyncDispStats> slots(ks.size());
+  parallelFor(ctx.batch.threads, ks.size(), [&](std::size_t i) {
+    const std::uint32_t k = ks[i];
+    const Graph g = makeComplete(k).build(PortLabeling::RandomPermutation, 9);
+    const Placement p = rootedPlacement(g, k, 0, 7);
+    AsyncEngine engine(g, p.positions, p.ids, makeRoundRobinScheduler(k));
+    RootedAsyncDispersion algo(engine);
+    algo.start();
+    engine.run(400000000ULL);
+    slots[i] = algo.stats();
+  });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const AsyncDispStats& s = slots[i];
+    const std::uint64_t steps = s.forwardMoves + s.backtracks;
+    t.row()
+        .cell("complete")
+        .cell(std::uint64_t{ks[i]})
+        .cell(s.seeOffSweeps)
+        .cell(steps)
+        .cell(double(s.seeOffSweeps) / double(steps), 2)
+        .cell(std::log2(double(ks[i])), 2);
+  }
+  emitTable(ctx, name, "see-off sweeps per step track log2(k)", t);
+}
+
+}  // namespace disp::exp

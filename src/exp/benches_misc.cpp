@@ -1,0 +1,169 @@
+// Lower-bound anchor, ablations, and wall-clock telemetry (E11–E14).
+#include <chrono>
+#include <cmath>
+
+#include "algo/placement.hpp"
+#include "core/scheduler.hpp"
+#include "exp/benches.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace disp::exp {
+
+// E11 — the Ω(k) lower-bound anchor (§1).
+// On a path with all k agents at one end, any algorithm needs >= k-1
+// rounds.  Reported: measured rounds / k for every algorithm — the paper's
+// algorithm should sit at a small constant.
+void benchLowerBoundLine(BenchContext& ctx) {
+  const std::string name = "lower_bound_line";
+  ctx.out << "# E11: lower-bound anchor — path, all agents at one end\n";
+  SweepSpec spec;
+  spec.name = name;
+  spec.families = {"path"};
+  spec.ks = kSweep(5, 9);
+  spec.algorithms = {Algorithm::RootedSync, Algorithm::GeneralSync,
+                     Algorithm::KsSync, Algorithm::RootedAsync};
+  spec.seeds = ctx.seedsOr(3);
+  spec.nOverK = 1.5;
+  const SweepResult res = ctx.runner().run(spec);
+
+  Table t({"k", "RootedSync/k", "Sudo-style/k", "KS/k", "RootedAsync(ep)/k"});
+  for (const std::uint32_t k : spec.ks) {
+    t.row().cell(std::uint64_t{k});
+    for (const Algorithm algo : spec.algorithms) {
+      const Cell& c = res.at({"path", k, 1, "round_robin", algo});
+      t.cell(c.meanTime() / k, 2);
+    }
+  }
+  emitTable(ctx, name, "time/k ratios (lower bound = 1.0)", t);
+}
+
+// E12 — design-choice ablation.
+// The paper's SYNC result stacks two techniques on the KS baseline:
+//   level 0: KS sequential probing            -> O(min{m, kΔ})
+//   level 1: + parallel probing w/ doubling   -> O(k log k)  (Sudo-style)
+//   level 2: + seekers, empty nodes, oscillation -> O(k)     (Theorem 6.1)
+// This bench isolates each level's contribution on a dense instance.
+void benchAblationTechniques(BenchContext& ctx) {
+  const std::string name = "ablation_techniques";
+  ctx.out << "# E12: ablation — technique levels on a clique (k = n)\n";
+  SweepSpec spec;
+  spec.name = name;
+  spec.families = {"complete"};
+  spec.ks = kSweep(5, 9);
+  spec.algorithms = {Algorithm::KsSync, Algorithm::GeneralSync,
+                     Algorithm::RootedSync};
+  spec.seeds = ctx.seedsOr(5);
+  spec.nOverK = 1.0;
+  const SweepResult res = ctx.runner().run(spec);
+
+  Table t({"k", "KS(level0)", "doubling(level1)", "full(level2)",
+           "lvl0/lvl2", "lvl1/lvl2"});
+  for (const std::uint32_t k : spec.ks) {
+    const Cell& l0 = res.at({"complete", k, 1, "round_robin", Algorithm::KsSync});
+    const Cell& l1 = res.at({"complete", k, 1, "round_robin", Algorithm::GeneralSync});
+    const Cell& l2 = res.at({"complete", k, 1, "round_robin", Algorithm::RootedSync});
+    t.row().cell(std::uint64_t{k});
+    timeCell(t, l0);
+    timeCell(t, l1);
+    timeCell(t, l2);
+    t.cell(l0.meanTime() / l2.meanTime(), 2).cell(l1.meanTime() / l2.meanTime(), 2);
+  }
+  emitTable(ctx, name, "rounds by technique level (speedups vs full algorithm)", t);
+}
+
+// E13 — scheduler-adversary ablation.
+// Epoch counts of the ASYNC algorithms under increasingly adversarial
+// activation schedules.  Epoch-measured time should be scheduler-robust
+// (that is the point of the epoch definition); raw activations are not.
+void benchAblationScheduler(BenchContext& ctx) {
+  const std::string name = "ablation_scheduler";
+  ctx.out << "# E13: ablation — scheduler adversaries (ASYNC)\n";
+  const auto k = static_cast<std::uint32_t>(96 * scale());
+  SweepSpec spec;
+  spec.name = name;
+  spec.families = {"er"};
+  spec.ks = {k};
+  spec.algorithms = {Algorithm::RootedAsync, Algorithm::KsAsync};
+  spec.schedulers = knownSchedulers();
+  spec.seeds = ctx.seedsOr(23);
+  const SweepResult res = ctx.runner().run(spec);
+
+  Table t({"algo", "sched", "k", "epochs", "activations", "act/epoch"});
+  for (const Algorithm algo : spec.algorithms) {
+    for (const std::string& sched : spec.schedulers) {
+      const Cell& r = res.at({"er", k, 1, sched, algo});
+      if (!r.allDispersed()) continue;
+      double activations = 0.0;
+      for (const RunRecord& rec : r.replicates) {
+        activations += double(rec.run.activations);
+      }
+      activations /= double(r.replicates.size());
+      t.row().cell(algorithmName(algo)).cell(sched).cell(std::uint64_t{k});
+      timeCell(t, r);
+      if (r.replicates.size() == 1) {
+        t.cell(r.first().run.activations);
+      } else {
+        t.cell(activations, 1);
+      }
+      t.cell(activations / r.meanTime(), 1);
+    }
+  }
+  emitTable(ctx, name, "epoch robustness across schedulers", t);
+}
+
+// E14 — wall-clock telemetry: how fast the *simulator* itself runs each
+// algorithm (ms per full dispersion run).  This is engineering data, not a
+// paper claim — the paper's "time" is rounds/epochs, measured by E1–E4.
+// Each configuration repeats until 100ms of wall time has accumulated.
+void benchWallclock(BenchContext& ctx) {
+  const std::string name = "wallclock";
+  ctx.out << "# E14: wall-clock — simulator throughput (telemetry, not a claim)\n";
+  struct Config {
+    Algorithm algo;
+    const char* sched;
+    std::uint32_t k;
+    std::uint32_t clusters;
+  };
+  const std::vector<Config> configs{
+      {Algorithm::RootedSync, "round_robin", 64, 1},
+      {Algorithm::RootedSync, "round_robin", 128, 1},
+      {Algorithm::RootedSync, "round_robin", 256, 1},
+      {Algorithm::RootedAsync, "uniform", 64, 1},
+      {Algorithm::RootedAsync, "uniform", 128, 1},
+      {Algorithm::KsSync, "round_robin", 64, 1},
+      {Algorithm::KsSync, "round_robin", 128, 1},
+      {Algorithm::KsSync, "round_robin", 256, 1},
+      {Algorithm::GeneralSync, "round_robin", 64, 4},
+      {Algorithm::GeneralSync, "round_robin", 128, 4},
+  };
+  Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run"});
+  for (const Config& cfg : configs) {
+    const Graph g = makeFamily({"er", 2 * cfg.k, 7});
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t runs = 0;
+    double elapsedMs = 0.0;
+    do {
+      const Placement p =
+          cfg.clusters == 1 ? rootedPlacement(g, cfg.k, 0, 3)
+                            : clusteredPlacement(g, cfg.k, cfg.clusters, 3);
+      const RunResult r = runDispersion(g, p, {cfg.algo, cfg.sched, 5});
+      DISP_CHECK(r.dispersed, "wallclock config failed to disperse");
+      ++runs;
+      elapsedMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsedMs < 100.0 || runs < 3);
+    t.row()
+        .cell(algorithmName(cfg.algo))
+        .cell(cfg.sched)
+        .cell(std::uint64_t{cfg.k})
+        .cell(std::uint64_t{cfg.clusters})
+        .cell(runs)
+        .cell(elapsedMs, 1)
+        .cell(elapsedMs / double(runs), 3);
+  }
+  emitTable(ctx, name, "simulator wall-clock per dispersion run", t);
+}
+
+}  // namespace disp::exp

@@ -1,0 +1,79 @@
+#include "exp/sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace disp::exp {
+
+namespace {
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonlWriter::record(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string line = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) line += ", ";
+    first = false;
+    appendJsonString(line, key);
+    line += ": ";
+    appendJsonString(line, value);
+  }
+  line += "}";
+  os_ << line << '\n';
+}
+
+void emitTable(BenchContext& ctx, const std::string& sweep, const std::string& title,
+               const Table& t) {
+  t.print(ctx.out, title);
+  if (!ctx.jsonl) return;
+  const std::vector<std::string>& header = t.header();
+  for (const std::vector<std::string>& row : t.data()) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.reserve(header.size() + 2);
+    fields.emplace_back("sweep", sweep);
+    fields.emplace_back("table", title);
+    for (std::size_t i = 0; i < header.size() && i < row.size(); ++i) {
+      fields.emplace_back(header[i], row[i]);
+    }
+    ctx.jsonl->record(fields);
+  }
+}
+
+void emitNote(BenchContext& ctx, const std::string& sweep, const std::string& field,
+              const std::string& line) {
+  ctx.out << line << "\n";
+  if (ctx.jsonl) ctx.jsonl->record({{"sweep", sweep}, {field, line}});
+}
+
+void timeCell(Table& t, const Cell& c) {
+  if (c.replicates.size() == 1) {
+    t.cell(c.first().run.time);
+  } else {
+    t.cell(c.meanTime(), 1);
+  }
+}
+
+}  // namespace disp::exp

@@ -1,0 +1,62 @@
+#pragma once
+// Result sinks for the experiment driver.
+//
+// Every bench renders GitHub-markdown tables to a stream (unchanged from
+// the historical binaries, byte for byte).  When a JSON-lines sink is
+// attached, each printed table row is mirrored as one JSON object whose
+// keys are the column headers and whose values are the rendered cell
+// strings — exactly the row dictionaries scripts/record_bench_baseline.sh
+// has always parsed out of the markdown, so BENCH_table1.json stays
+// format-compatible.  Growth-fit lines are mirrored as {"fit": ...}.
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/batch_runner.hpp"
+#include "util/table.hpp"
+
+namespace disp::exp {
+
+/// Writes one JSON object per line; values are emitted as JSON strings.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+
+  void record(const std::vector<std::pair<std::string, std::string>>& fields);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Everything a bench body needs: the markdown stream, an optional JSONL
+/// mirror, execution options, and an optional replicate-seed override.
+struct BenchContext {
+  std::ostream& out;
+  JsonlWriter* jsonl = nullptr;
+  BatchOptions batch;
+  /// When non-empty, replaces each bench's historical single seed.
+  std::vector<std::uint64_t> seedOverride;
+
+  [[nodiscard]] std::vector<std::uint64_t> seedsOr(std::uint64_t fallback) const {
+    return seedOverride.empty() ? std::vector<std::uint64_t>{fallback} : seedOverride;
+  }
+  [[nodiscard]] BatchRunner runner() const { return BatchRunner(batch); }
+};
+
+/// Prints `# title` + the table to ctx.out and mirrors every row to the
+/// JSONL sink (tagged with the sweep name and table title).
+void emitTable(BenchContext& ctx, const std::string& sweep, const std::string& title,
+               const Table& t);
+
+/// Prints a diagnostic line (fit lines, warnings) and mirrors it to JSONL
+/// under the given field name.
+void emitNote(BenchContext& ctx, const std::string& sweep, const std::string& field,
+              const std::string& line);
+
+/// Adds the time cell for an aggregated sweep cell: the exact integer for a
+/// single replicate (historical format), the mean otherwise.
+void timeCell(Table& t, const Cell& c);
+
+}  // namespace disp::exp

@@ -1,0 +1,108 @@
+#include "exp/sweep.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "algo/placement.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace disp::exp {
+
+std::vector<std::uint32_t> kSweep(std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::uint32_t> ks;
+  const double f = scale();
+  for (std::uint32_t e = lo; e <= hi; ++e) {
+    const auto k = static_cast<std::uint32_t>(double(1u << e) * f);
+    if (k >= 8) ks.push_back(k);
+  }
+  return ks;
+}
+
+RunRecord runCell(const CaseSpec& c) {
+  const auto n = static_cast<std::uint32_t>(double(c.k) * c.nOverK);
+  const Graph g = makeFamily({c.family, n, c.seed, c.labeling});
+  return runCell(g, c);
+}
+
+RunRecord runCell(const Graph& g, const CaseSpec& c) {
+  const Placement p = c.clusters == 1
+                          ? rootedPlacement(g, c.k, 0, c.seed)
+                          : clusteredPlacement(g, c.k, c.clusters, c.seed);
+  RunRecord out;
+  out.run = runDispersion(g, p, {c.algorithm, c.scheduler, c.seed, c.limit});
+  out.n = g.nodeCount();
+  out.maxDegree = g.maxDegree();
+  out.edges = g.edgeCount();
+  return out;
+}
+
+std::string CellKey::describe() const {
+  std::ostringstream os;
+  os << family << " k=" << k << " l=" << clusters << " sched=" << scheduler
+     << " algo=" << algorithmName(algorithm);
+  return os.str();
+}
+
+bool Cell::allDispersed() const {
+  for (const RunRecord& r : replicates) {
+    if (!r.run.dispersed) return false;
+  }
+  return !replicates.empty();
+}
+
+std::uint64_t Cell::maxMemoryBits() const {
+  std::uint64_t bits = 0;
+  for (const RunRecord& r : replicates) {
+    bits = std::max(bits, r.run.maxMemoryBits);
+  }
+  return bits;
+}
+
+const Cell& SweepResult::at(const CellKey& key) const {
+  for (const Cell& c : cells) {
+    if (c.key == key) return c;
+  }
+  throw std::out_of_range("sweep '" + spec.name + "' has no cell " + key.describe());
+}
+
+std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
+  DISP_REQUIRE(!spec.families.empty() && !spec.ks.empty() && !spec.algorithms.empty() &&
+                   !spec.clusterCounts.empty() && !spec.schedulers.empty() &&
+                   !spec.seeds.empty(),
+               "sweep '" + spec.name + "' has an empty axis");
+  std::vector<CellKey> keys;
+  keys.reserve(spec.cellCount());
+  for (const std::string& family : spec.families) {
+    for (const std::uint32_t k : spec.ks) {
+      for (const std::uint32_t clusters : spec.clusterCounts) {
+        for (const std::string& scheduler : spec.schedulers) {
+          for (const Algorithm algorithm : spec.algorithms) {
+            keys.push_back({family, k, clusters, scheduler, algorithm});
+          }
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+double ci95(const Summary& s) {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(double(s.count));
+}
+
+std::string growthDiagnosisLine(const std::string& label, const std::vector<double>& ks,
+                                const std::vector<double>& times) {
+  const auto d = diagnoseGrowth(ks, times);
+  std::ostringstream os;
+  os << "fit[" << label << "]: time ~ k^" << fmt(d.power.exponent, 2)
+     << " (r2=" << fmt(d.power.r2, 3) << "), time/k: " << fmt(d.ratioLinearSmall, 1)
+     << " -> " << fmt(d.ratioLinearLarge, 1)
+     << ", time/(k log k): " << fmt(d.ratioKLogKSmall, 2) << " -> "
+     << fmt(d.ratioKLogKLarge, 2);
+  return os.str();
+}
+
+}  // namespace disp::exp

@@ -1,0 +1,140 @@
+#pragma once
+// Declarative experiment sweeps.
+//
+// A SweepSpec names a cross-product of experiment axes — graph families ×
+// agent counts k × start-node clusters ℓ × ASYNC schedulers × algorithms —
+// plus a list of replicate seeds.  Each point of the cross-product is a
+// *cell*; each cell is simulated once per seed (the seed drives graph
+// construction, placement and the run itself, exactly like the historical
+// bench_common::runCase single-seed path).  BatchRunner (batch_runner.hpp)
+// executes a spec over a thread pool, sharing each immutable Graph across
+// every run that uses it, and aggregates replicates per cell.
+//
+// Scale knob: DISP_BENCH_SCALE ∈ {0.5, 1, 2, 4} scales kSweep() the same
+// way it always scaled the hand-rolled bench loops.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace disp::exp {
+
+[[nodiscard]] inline double scale() {
+  if (const char* s = std::getenv("DISP_BENCH_SCALE")) return std::atof(s);
+  return 1.0;
+}
+
+/// k values 2^lo .. 2^hi scaled by DISP_BENCH_SCALE (minimum 8).
+[[nodiscard]] std::vector<std::uint32_t> kSweep(std::uint32_t lo = 5,
+                                                std::uint32_t hi = 9);
+
+/// One simulation point: every input runDispersion needs, from one seed.
+struct CaseSpec {
+  std::string family = "er";
+  std::uint32_t k = 0;
+  Algorithm algorithm = Algorithm::RootedSync;
+  std::uint32_t clusters = 1;  ///< 1 = rooted placement; >1 = ℓ clusters
+  std::string scheduler = "round_robin";
+  std::uint64_t seed = 17;  ///< drives graph, placement and run
+  double nOverK = 2.0;      ///< n = k * nOverK nodes
+  PortLabeling labeling = PortLabeling::RandomPermutation;
+  std::uint64_t limit = 0;  ///< round/activation cap; 0 = auto (RunSpec)
+};
+
+/// Outcome of one simulated case plus the graph's vital statistics.
+struct RunRecord {
+  RunResult run;
+  std::uint32_t n = 0;
+  std::uint32_t maxDegree = 0;
+  std::uint64_t edges = 0;
+  /// Non-empty when the run threw (limit hit — protocol bug or too-small
+  /// cap).  BatchRunner records the error instead of aborting the sweep;
+  /// errored replicates count as undispersed and are excluded from `time`.
+  std::string error;
+};
+
+/// Builds the case's graph and placement and runs it once.
+[[nodiscard]] RunRecord runCell(const CaseSpec& c);
+
+/// Same, against a prebuilt graph (must equal makeFamily for the case's
+/// family/n/seed/labeling — BatchRunner uses this to share graphs).
+[[nodiscard]] RunRecord runCell(const Graph& g, const CaseSpec& c);
+
+/// The cross-product of experiment axes.  Every vector axis must be
+/// non-empty; `seeds` are the replicates aggregated per cell.
+struct SweepSpec {
+  std::string name;  ///< registry / JSONL identifier
+  std::vector<std::string> families;
+  std::vector<std::uint32_t> ks;
+  std::vector<Algorithm> algorithms;
+  std::vector<std::uint32_t> clusterCounts{1};
+  std::vector<std::string> schedulers{"round_robin"};
+  std::vector<std::uint64_t> seeds{17};
+  double nOverK = 2.0;
+  PortLabeling labeling = PortLabeling::RandomPermutation;
+  std::uint64_t limit = 0;  ///< per-run round/activation cap; 0 = auto
+
+  [[nodiscard]] std::size_t cellCount() const noexcept {
+    return families.size() * ks.size() * algorithms.size() *
+           clusterCounts.size() * schedulers.size();
+  }
+};
+
+/// Coordinates of one cell inside a sweep (the seed axis is aggregated).
+struct CellKey {
+  std::string family;
+  std::uint32_t k = 0;
+  std::uint32_t clusters = 1;
+  std::string scheduler = "round_robin";
+  Algorithm algorithm = Algorithm::RootedSync;
+
+  [[nodiscard]] bool operator==(const CellKey&) const = default;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One aggregated cell: replicate runs (index-parallel with spec.seeds)
+/// plus summary statistics over the time metric.
+struct Cell {
+  CellKey key;
+  std::vector<RunRecord> replicates;
+  Summary time;  ///< rounds (SYNC) / epochs (ASYNC) over non-errored replicates
+
+  [[nodiscard]] const RunRecord& first() const { return replicates.front(); }
+  [[nodiscard]] bool allDispersed() const;
+  /// Mean time over replicates (the single value for single-seed sweeps).
+  [[nodiscard]] double meanTime() const { return time.mean; }
+  /// Memory high-water mark across replicates (the claim is a worst case).
+  [[nodiscard]] std::uint64_t maxMemoryBits() const;
+};
+
+/// Result of executing a SweepSpec: cells in deterministic enumeration
+/// order (family ▸ k ▸ clusters ▸ scheduler ▸ algorithm, each axis in spec
+/// order) — independent of thread count.
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<Cell> cells;
+
+  /// Cell lookup; throws std::out_of_range naming the missing key.
+  [[nodiscard]] const Cell& at(const CellKey& key) const;
+};
+
+/// Enumerates the cell keys of a spec in canonical order.
+[[nodiscard]] std::vector<CellKey> enumerateCells(const SweepSpec& spec);
+
+/// 95% confidence-interval half-width of the mean (normal approximation);
+/// 0 for fewer than two samples.
+[[nodiscard]] double ci95(const Summary& s);
+
+/// The "fit[label]: ..." growth-diagnosis line benches print under each
+/// table (Table-1 model check: exponent of time ~ k^p plus flat-ratio
+/// columns).
+[[nodiscard]] std::string growthDiagnosisLine(const std::string& label,
+                                              const std::vector<double>& ks,
+                                              const std::vector<double>& times);
+
+}  // namespace disp::exp

@@ -40,4 +40,47 @@ double Cli::real(const std::string& key, double fallback) const {
   return std::stod(it->second);
 }
 
+std::vector<std::string> Cli::list(const std::string& key) const {
+  std::vector<std::string> out;
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return out;
+  const std::string& value = it->second;
+  std::string::size_type from = 0;
+  while (from <= value.size()) {
+    const auto comma = value.find(',', from);
+    const auto to = comma == std::string::npos ? value.size() : comma;
+    if (to > from) out.push_back(value.substr(from, to - from));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Cli::u64list(const std::string& key) const {
+  std::vector<std::uint64_t> out;
+  for (const std::string& tok : list(key)) {
+    out.push_back(parseU64(tok, "--" + key));
+  }
+  return out;
+}
+
+std::uint64_t parseU64(const std::string& token, const std::string& what) {
+  // Reject sign/whitespace prefixes up front: std::stoull would accept a
+  // leading '-' and wrap modulo 2^64.
+  if (token.empty() || token[0] < '0' || token[0] > '9') {
+    throw std::invalid_argument(what + ": not a number: " + token);
+  }
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": not a number: " + token);
+  }
+  if (used != token.size()) {
+    throw std::invalid_argument(what + ": not a number: " + token);
+  }
+  return v;
+}
+
 }  // namespace disp

@@ -17,6 +17,11 @@ class Cli {
   [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const;
   [[nodiscard]] std::int64_t integer(const std::string& key, std::int64_t fallback) const;
   [[nodiscard]] double real(const std::string& key, double fallback) const;
+  /// Comma-separated list value; empty vector when the flag is absent.
+  [[nodiscard]] std::vector<std::string> list(const std::string& key) const;
+  /// Comma-separated unsigned list (e.g. --seeds=1,2,3); empty when absent.
+  /// Throws std::invalid_argument on non-numeric elements.
+  [[nodiscard]] std::vector<std::uint64_t> u64list(const std::string& key) const;
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
   [[nodiscard]] const std::string& program() const { return program_; }
 
@@ -25,5 +30,9 @@ class Cli {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// Strict unsigned parse of a whole token: digits only (no sign, space or
+/// trailing junk).  Throws std::invalid_argument prefixed with `what`.
+[[nodiscard]] std::uint64_t parseU64(const std::string& token, const std::string& what);
 
 }  // namespace disp

@@ -23,6 +23,12 @@ class Table {
   Table& cell(int value);
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  /// Rendered cell strings, row-major (what markdown()/csv() emit).  Sinks
+  /// use this to mirror rows into machine-readable formats.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
   [[nodiscard]] std::string markdown() const;
   [[nodiscard]] std::string csv() const;
 

@@ -1,0 +1,241 @@
+// Tests for the src/exp/ experiment driver: sweep enumeration, the batch
+// runner's thread-count invariance (bit-identical cells for 1 vs 4+
+// workers), concurrent runDispersion calls on shared Graph instances, and
+// the JSONL sink format.  The *Concurrent* tests are the TSan targets.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "algo/placement.hpp"
+#include "exp/batch_runner.hpp"
+#include "exp/sink.hpp"
+#include "exp/sweep.hpp"
+#include "graph/generators.hpp"
+
+namespace disp::exp {
+namespace {
+
+void expectSameRun(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.dispersed, b.dispersed) << what;
+  EXPECT_EQ(a.time, b.time) << what;
+  EXPECT_EQ(a.activations, b.activations) << what;
+  EXPECT_EQ(a.totalMoves, b.totalMoves) << what;
+  EXPECT_EQ(a.maxMemoryBits, b.maxMemoryBits) << what;
+  EXPECT_EQ(a.finalPositions, b.finalPositions) << what;
+}
+
+SweepSpec smallSpec() {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.families = {"er", "star"};
+  spec.ks = {12, 24};
+  spec.algorithms = {Algorithm::RootedSync, Algorithm::KsAsync,
+                     Algorithm::GeneralAsync};
+  spec.clusterCounts = {1, 3};
+  spec.schedulers = {"round_robin", "uniform"};
+  spec.seeds = {1, 2, 3};
+  return spec;
+}
+
+TEST(Sweep, EnumeratesCellsInCanonicalOrder) {
+  const SweepSpec spec = smallSpec();
+  const auto keys = enumerateCells(spec);
+  ASSERT_EQ(keys.size(), spec.cellCount());
+  ASSERT_EQ(keys.size(), 2u * 2u * 3u * 2u * 2u);
+  // family ▸ k ▸ clusters ▸ scheduler ▸ algorithm.
+  EXPECT_EQ(keys[0].family, "er");
+  EXPECT_EQ(keys[0].k, 12u);
+  EXPECT_EQ(keys[0].clusters, 1u);
+  EXPECT_EQ(keys[0].scheduler, "round_robin");
+  EXPECT_EQ(keys[0].algorithm, Algorithm::RootedSync);
+  EXPECT_EQ(keys[1].algorithm, Algorithm::KsAsync);
+  EXPECT_EQ(keys[3].scheduler, "uniform");
+  EXPECT_EQ(keys[6].clusters, 3u);
+  EXPECT_EQ(keys.back().family, "star");
+  EXPECT_EQ(keys.back().k, 24u);
+  EXPECT_EQ(keys.back().algorithm, Algorithm::GeneralAsync);
+}
+
+TEST(Sweep, RejectsEmptyAxes) {
+  SweepSpec spec = smallSpec();
+  spec.ks.clear();
+  EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
+}
+
+TEST(BatchRunner, RejectsUnknownSchedulerNameUpFront) {
+  // A typo'd scheduler must fail the sweep loudly, not degrade every async
+  // cell into errored replicates.
+  SweepSpec spec = smallSpec();
+  spec.schedulers = {"round_robbin"};
+  EXPECT_THROW((void)BatchRunner({1}).run(spec), std::invalid_argument);
+}
+
+TEST(Sweep, ResultLookupThrowsOnMissingCell) {
+  SweepSpec spec = smallSpec();
+  spec.seeds = {1};
+  const SweepResult res = BatchRunner({1}).run(spec);
+  EXPECT_THROW((void)res.at({"grid", 12, 1, "round_robin", Algorithm::RootedSync}),
+               std::out_of_range);
+}
+
+TEST(BatchRunner, ParallelIsBitIdenticalToSerial) {
+  const SweepSpec spec = smallSpec();
+  const SweepResult serial = BatchRunner({1}).run(spec);
+  const SweepResult parallel = BatchRunner({4}).run(spec);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const Cell& a = serial.cells[i];
+    const Cell& b = parallel.cells[i];
+    EXPECT_EQ(a.key, b.key);
+    ASSERT_EQ(a.replicates.size(), spec.seeds.size());
+    ASSERT_EQ(b.replicates.size(), spec.seeds.size());
+    for (std::size_t r = 0; r < a.replicates.size(); ++r) {
+      const std::string what = a.key.describe() + " seed=" +
+                               std::to_string(spec.seeds[r]);
+      EXPECT_EQ(a.replicates[r].error, b.replicates[r].error) << what;
+      EXPECT_EQ(a.replicates[r].n, b.replicates[r].n) << what;
+      EXPECT_EQ(a.replicates[r].edges, b.replicates[r].edges) << what;
+      expectSameRun(a.replicates[r].run, b.replicates[r].run, what);
+    }
+    EXPECT_EQ(a.time.mean, b.time.mean);
+    EXPECT_EQ(a.time.median, b.time.median);
+  }
+}
+
+TEST(BatchRunner, MatchesDirectRunCellResults) {
+  SweepSpec spec;
+  spec.name = "direct";
+  spec.families = {"er"};
+  spec.ks = {16};
+  spec.algorithms = {Algorithm::GeneralSync};
+  spec.clusterCounts = {4};
+  spec.seeds = {7, 8};
+  const SweepResult res = BatchRunner({2}).run(spec);
+  const Cell& cell = res.at({"er", 16, 4, "round_robin", Algorithm::GeneralSync});
+  for (std::size_t r = 0; r < spec.seeds.size(); ++r) {
+    const RunRecord direct = runCell(
+        {"er", 16, Algorithm::GeneralSync, 4, "round_robin", spec.seeds[r]});
+    expectSameRun(direct.run, cell.replicates[r].run,
+                  "seed=" + std::to_string(spec.seeds[r]));
+  }
+}
+
+TEST(BatchRunner, RecordsLimitErrorsInsteadOfThrowing) {
+  SweepSpec spec;
+  spec.name = "limited";
+  spec.families = {"er"};
+  spec.ks = {16};
+  spec.algorithms = {Algorithm::RootedSync};
+  spec.seeds = {1, 2};
+  spec.limit = 1;  // guaranteed to hit the round cap
+  const SweepResult res = BatchRunner({2}).run(spec);
+  const Cell& cell = res.cells.front();
+  EXPECT_FALSE(cell.allDispersed());
+  EXPECT_EQ(cell.time.count, 0u);
+  for (const RunRecord& r : cell.replicates) {
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_FALSE(r.run.dispersed);
+    EXPECT_EQ(r.n, 32u);  // graph stats still recorded
+  }
+}
+
+// The re-entrancy guarantee behind the whole driver (DESIGN.md §5):
+// concurrent runDispersion calls sharing immutable Graph instances must
+// produce exactly the per-seed results of serial runs.
+TEST(RunDispersion, ConcurrentRunsOnSharedGraphsAreBitIdentical) {
+  const Graph er = makeFamily({"er", 48, 42});
+  const Graph star = makeFamily({"star", 48, 42});
+  struct Config {
+    const Graph* g;
+    Algorithm algo;
+    std::uint32_t clusters;
+    const char* sched;
+    std::uint64_t seed;
+  };
+  std::vector<Config> configs;
+  const Algorithm algos[] = {Algorithm::RootedSync,   Algorithm::RootedAsync,
+                             Algorithm::GeneralSync,  Algorithm::GeneralAsync,
+                             Algorithm::KsSync,       Algorithm::KsAsync};
+  const char* scheds[] = {"round_robin", "uniform", "weighted:16", "shuffled"};
+  for (int i = 0; i < 24; ++i) {
+    const Algorithm algo = algos[i % 6];
+    const bool general =
+        algo == Algorithm::GeneralSync || algo == Algorithm::GeneralAsync;
+    configs.push_back({i % 2 ? &star : &er, algo, general ? 3u : 1u,
+                       scheds[i % 4], 1000 + std::uint64_t(i)});
+  }
+  const auto runOne = [](const Config& c) {
+    const Placement p = c.clusters == 1
+                            ? rootedPlacement(*c.g, 24, 0, c.seed)
+                            : clusteredPlacement(*c.g, 24, c.clusters, c.seed);
+    return runDispersion(*c.g, p, {c.algo, c.sched, c.seed});
+  };
+
+  std::vector<RunResult> serial(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) serial[i] = runOne(configs[i]);
+
+  std::vector<RunResult> concurrent(configs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(8);
+  for (unsigned t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = t; i < configs.size(); i += 8) {
+        concurrent[i] = runOne(configs[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expectSameRun(serial[i], concurrent[i], "config " + std::to_string(i));
+    EXPECT_TRUE(serial[i].dispersed) << i;
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexOnceAndPropagatesFirstError) {
+  std::vector<int> hits(500, 0);
+  parallelFor(4, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_THROW(parallelFor(4, 8,
+                           [](std::size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(Stats, Ci95HalfWidth) {
+  EXPECT_EQ(ci95(summarize(std::vector<double>{5.0})), 0.0);
+  const Summary s = summarize(std::vector<double>{2.0, 4.0, 6.0, 8.0});
+  EXPECT_NEAR(ci95(s), 1.96 * s.stddev / 2.0, 1e-12);
+}
+
+TEST(Jsonl, EscapesAndMirrorsTableRows) {
+  std::ostringstream os;
+  JsonlWriter w(os);
+  w.record({{"a", "plain"}, {"q", "has \"quotes\"\nand\tmore"}});
+  EXPECT_EQ(os.str(),
+            "{\"a\": \"plain\", \"q\": \"has \\\"quotes\\\"\\nand\\tmore\"}\n");
+
+  std::ostringstream md, jl;
+  JsonlWriter sink(jl);
+  BenchContext ctx{md, &sink, {}, {}};
+  Table t({"k", "rounds"});
+  t.row().cell(std::uint64_t{8}).cell(std::uint64_t{42});
+  emitTable(ctx, "sweep_x", "title y", t);
+  EXPECT_NE(md.str().find("| 42"), std::string::npos);
+  EXPECT_EQ(jl.str(),
+            "{\"sweep\": \"sweep_x\", \"table\": \"title y\", "
+            "\"k\": \"8\", \"rounds\": \"42\"}\n");
+}
+
+TEST(BenchContext, SeedsOrFallsBackToHistoricalSeed) {
+  std::ostringstream os;
+  BenchContext ctx{os, nullptr, {}, {}};
+  EXPECT_EQ(ctx.seedsOr(17), (std::vector<std::uint64_t>{17}));
+  ctx.seedOverride = {1, 2, 3};
+  EXPECT_EQ(ctx.seedsOr(17), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace disp::exp

@@ -184,6 +184,31 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   EXPECT_EQ(cli.positional()[0], "input.g");
 }
 
+TEST(Cli, ParsesLists) {
+  const char* argv[] = {"prog", "--names=a,b,,c", "--seeds=1,2,3"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.list("names"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(cli.u64list("seeds"), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(cli.u64list("missing").empty());
+}
+
+TEST(Cli, U64ListRejectsNonNumbers) {
+  const char* argv[] = {"prog", "--a=1,x", "--b=-1", "--c=1.5", "--d=+2"};
+  const Cli cli(5, argv);
+  EXPECT_THROW((void)cli.u64list("a"), std::invalid_argument);
+  EXPECT_THROW((void)cli.u64list("b"), std::invalid_argument);  // no sign wrap
+  EXPECT_THROW((void)cli.u64list("c"), std::invalid_argument);
+  EXPECT_THROW((void)cli.u64list("d"), std::invalid_argument);
+}
+
+TEST(Cli, ParseU64IsStrict) {
+  EXPECT_EQ(parseU64("42", "x"), 42u);
+  EXPECT_THROW((void)parseU64("", "x"), std::invalid_argument);
+  EXPECT_THROW((void)parseU64(" 1", "x"), std::invalid_argument);
+  EXPECT_THROW((void)parseU64("99999999999999999999999", "x"),
+               std::invalid_argument);  // out of range
+}
+
 TEST(Check, RequireThrowsInvalidArgument) {
   EXPECT_THROW(DISP_REQUIRE(false, "boom"), std::invalid_argument);
 }
