@@ -1,0 +1,6 @@
+// E15 — Table 1 at scale, k=2^10..2^14 (body: src/exp/benches_scale.cpp).
+#include "exp/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("table1_scale", argc, argv);
+}

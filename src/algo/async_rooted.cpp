@@ -58,11 +58,14 @@ AgentIx RootedAsyncDispersion::homeSettlerAt(NodeId v) const {
   return kNoAgent;
 }
 
-std::vector<AgentIx> RootedAsyncDispersion::availableProbersAt(NodeId w,
-                                                               AgentIx self) const {
+const std::vector<AgentIx>& RootedAsyncDispersion::availableProbersAt(
+    NodeId w, AgentIx self) const {
   // A(w) \ {α(w)}: unsettled agents and guest helpers, idle (no pending
   // orders), ascending by ID so the leader (max ID) is drafted last.
-  std::vector<AgentIx> avail;
+  // Scratch reuse is safe: every caller consumes the list before its next
+  // co_await (single-threaded engine), so no interleaved call clobbers it.
+  std::vector<AgentIx>& avail = probersScratch_;
+  avail.clear();
   for (const AgentIx a : engine_.agentsAt(w)) {
     const AgentState& s = st_[a];
     const bool follower = !s.settled;
@@ -246,7 +249,7 @@ Task RootedAsyncDispersion::probePhase(AgentIx self) {
     const Port degW = g.degree(w);
     if (bb.checked >= degW) break;  // exhausted: leaderNext_ stays ⊥
 
-    const auto avail = availableProbersAt(w, self);
+    const auto& avail = availableProbersAt(w, self);
     DISP_CHECK(!avail.empty(), "Async_Probe with no available agents");
     const Port delta = static_cast<Port>(std::min<std::uint32_t>(
         static_cast<std::uint32_t>(avail.size()), degW - bb.checked));

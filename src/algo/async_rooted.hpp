@@ -106,11 +106,14 @@ class RootedAsyncDispersion {
   Task leaderProbeTrip(AgentIx self, Port port);  // leader probes a port itself
 
   [[nodiscard]] AgentIx homeSettlerAt(NodeId v) const;  // settled, not guest
-  [[nodiscard]] std::vector<AgentIx> availableProbersAt(NodeId w, AgentIx self) const;
+  [[nodiscard]] const std::vector<AgentIx>& availableProbersAt(NodeId w,
+                                                               AgentIx self) const;
   void recordMemory();
 
   AsyncEngine& engine_;
   std::vector<AgentState> st_;
+  /// Scratch for availableProbersAt (consumed before any co_await).
+  mutable std::vector<AgentIx> probersScratch_;
   AsyncDispStats stats_;
   BitWidths widths_;
   AgentIx leader_ = kNoAgent;

@@ -107,11 +107,14 @@ AgentIx GeneralAsyncDispersion::anySettlerAt(NodeId v) const {
   return kNoAgent;
 }
 
-std::vector<AgentIx> GeneralAsyncDispersion::availableProbersAt(NodeId w,
-                                                                Label label) const {
+const std::vector<AgentIx>& GeneralAsyncDispersion::availableProbersAt(
+    NodeId w, Label label) const {
   // Own-label unsettled agents and guest helpers, idle (no pending orders),
   // ascending by ID so the leader is drafted as late as its ID allows.
-  std::vector<AgentIx> avail;
+  // Scratch reuse is safe: every caller consumes the list before its next
+  // co_await (single-threaded engine), so no interleaved call clobbers it.
+  std::vector<AgentIx>& avail = probersScratch_;
+  avail.clear();
   for (const AgentIx a : engine_.agentsAt(w)) {
     const AgentState& s = st_[a];
     if (s.label != label) continue;
@@ -197,7 +200,7 @@ GeneralAsyncDispersion::ProbeSight GeneralAsyncDispersion::observeAndRecruit(
       if (sight.met == kNoLabel || st_[b].label < sight.met) sight.met = st_[b].label;
     }
   }
-  sight.empty = (engine_.agentsAt(ui).size() == 1);
+  sight.empty = (engine_.countAt(ui) == 1);
   if (sight.settler != kNoAgent) {
     st_[sight.settler].orderGuestGoTo = engine_.pinOf(self);
     st_[sight.settler].isGuest = true;
@@ -469,7 +472,7 @@ Task GeneralAsyncDispersion::probePhase(std::uint32_t gi, AgentIx self) {
     AgentState& bb = st_[aw];
     if (bb.checked >= limit) break;  // exhausted: probeNext_ stays ⊥
 
-    const auto avail = availableProbersAt(w, ctx.label);
+    const auto& avail = availableProbersAt(w, ctx.label);
     DISP_CHECK(!avail.empty(), "Async_Probe with no available agents");
     const Port delta = static_cast<Port>(std::min<std::uint32_t>(
         static_cast<std::uint32_t>(avail.size()), limit - bb.checked));

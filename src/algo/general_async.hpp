@@ -206,7 +206,8 @@ class GeneralAsyncDispersion {
   [[nodiscard]] std::uint32_t resolveGroup(std::uint32_t g) const;
   [[nodiscard]] AgentIx homeSettlerAt(NodeId v, Label label) const;
   [[nodiscard]] AgentIx anySettlerAt(NodeId v) const;  // any label
-  [[nodiscard]] std::vector<AgentIx> availableProbersAt(NodeId w, Label label) const;
+  [[nodiscard]] const std::vector<AgentIx>& availableProbersAt(NodeId w,
+                                                               Label label) const;
   [[nodiscard]] bool groupConsolidatedAt(Label label, NodeId v) const;
   [[nodiscard]] std::uint32_t globalUnsettled() const;
   void settle(std::uint32_t gi, AgentIx a, NodeId at, Port parentPort);
@@ -215,6 +216,8 @@ class GeneralAsyncDispersion {
 
   AsyncEngine& engine_;
   std::vector<AgentState> st_;
+  /// Scratch for availableProbersAt (consumed before any co_await).
+  mutable std::vector<AgentIx> probersScratch_;
   std::vector<GroupCtx> groups_;
   GeneralAsyncStats stats_;
   BitWidths widths_;

@@ -186,7 +186,7 @@ Task GeneralSyncDispersion::probeStep(std::uint32_t gi) {
       }
       if (foreign) probeMet_[gi].emplace_back(foreignLabel, port);
       // Fully unsettled iff the prober stands there alone.
-      empty[i] = (engine_.agentsAt(ui).size() == 1) ? 1 : 0;
+      empty[i] = (engine_.countAt(ui) == 1) ? 1 : 0;
       engine_.stageMove(avail[i], engine_.pinOf(avail[i]));
     }
     co_await engine_.nextRound();

@@ -6,7 +6,10 @@
 
 namespace disp {
 
-OscillatorSystem::OscillatorSystem(SyncEngine& engine) : engine_(engine) {}
+OscillatorSystem::OscillatorSystem(SyncEngine& engine)
+    : engine_(engine),
+      ixOf_(engine.agentCount(), kNoAgent),
+      duty_(engine.agentCount(), 0) {}
 
 void OscillatorSystem::install() {
   DISP_CHECK(!installed_, "OscillatorSystem installed twice");
@@ -15,17 +18,13 @@ void OscillatorSystem::install() {
 }
 
 OscillatorSystem::Osc* OscillatorSystem::find(AgentIx agent) {
-  for (auto& osc : oscs_) {
-    if (osc.agent == agent) return &osc;
-  }
-  return nullptr;
+  const AgentIx ix = ixOf_[agent];
+  return ix == kNoAgent ? nullptr : &oscs_[ix];
 }
 
 const OscillatorSystem::Osc* OscillatorSystem::find(AgentIx agent) const {
-  for (const auto& osc : oscs_) {
-    if (osc.agent == agent) return &osc;
-  }
-  return nullptr;
+  const AgentIx ix = ixOf_[agent];
+  return ix == kNoAgent ? nullptr : &oscs_[ix];
 }
 
 OscillatorSystem::Osc& OscillatorSystem::findOrCreate(AgentIx agent) {
@@ -33,6 +32,7 @@ OscillatorSystem::Osc& OscillatorSystem::findOrCreate(AgentIx agent) {
   Osc fresh;
   fresh.agent = agent;
   fresh.home = engine_.positionOf(agent);
+  ixOf_[agent] = static_cast<AgentIx>(oscs_.size());
   oscs_.push_back(fresh);
   return oscs_.back();
 }
@@ -53,6 +53,7 @@ void OscillatorSystem::addChildStop(AgentIx agent, Port childPort) {
   DISP_CHECK(std::find(osc.stops.begin(), osc.stops.end(), childPort) == osc.stops.end(),
              "duplicate stop");
   osc.stops.push_back(childPort);
+  duty_[agent] = 1;
 }
 
 void OscillatorSystem::addSiblingStop(AgentIx agent, Port parentPort,
@@ -70,11 +71,7 @@ void OscillatorSystem::addSiblingStop(AgentIx agent, Port parentPort,
                  osc.stops.end(),
              "duplicate stop");
   osc.stops.push_back(siblingPortAtParent);
-}
-
-bool OscillatorSystem::isOscillating(AgentIx agent) const {
-  const Osc* osc = find(agent);
-  return osc != nullptr && (!osc->stops.empty() || !osc->plan.empty());
+  duty_[agent] = 1;
 }
 
 bool OscillatorSystem::isAtHome(AgentIx agent) const {
@@ -101,9 +98,14 @@ void OscillatorSystem::dropCurrentStop(AgentIx agent) {
 }
 
 void OscillatorSystem::retire(AgentIx agent) {
-  const auto it = std::find_if(oscs_.begin(), oscs_.end(),
-                               [&](const Osc& o) { return o.agent == agent; });
-  if (it != oscs_.end()) oscs_.erase(it);
+  const AgentIx ix = ixOf_[agent];
+  if (ix == kNoAgent) return;
+  // Erase preserving order — stageMoves() iterates oscs_ and staged-move
+  // order is part of the reproducible trace — then reindex the tail.
+  oscs_.erase(oscs_.begin() + static_cast<std::ptrdiff_t>(ix));
+  ixOf_[agent] = kNoAgent;
+  duty_[agent] = 0;
+  for (AgentIx i = ix; i < oscs_.size(); ++i) ixOf_[oscs_[i].agent] = i;
 }
 
 bool OscillatorSystem::allIdleAtHome() const {
@@ -150,6 +152,16 @@ void OscillatorSystem::rebuildPlan(Osc& osc) const {
 void OscillatorSystem::stageMoves() {
   for (auto& osc : oscs_) {
     if (osc.planIx >= osc.plan.size()) {
+      // Fast path: no duty left (stops dropped) and no trip in flight —
+      // skip the per-round plan rebuild for every retired oscillator.
+      if (osc.stops.empty()) {
+        if (!osc.plan.empty()) {
+          osc.plan.clear();
+          osc.planIx = 0;
+        }
+        duty_[osc.agent] = 0;
+        continue;
+      }
       // At home between cycles; start a new one if duty remains.
       rebuildPlan(osc);
       if (osc.plan.empty()) continue;

@@ -47,8 +47,12 @@ class OscillatorSystem {
   /// consistent parentPort.
   void addSiblingStop(AgentIx agent, Port parentPort, Port siblingPortAtParent);
 
-  /// True iff the agent currently has coverage duty.
-  [[nodiscard]] bool isOscillating(AgentIx agent) const;
+  /// True iff the agent currently has coverage duty (stops assigned or a
+  /// trip still in flight).  One flat-array byte load: memory accounting
+  /// calls this for every agent at every checkpoint.
+  [[nodiscard]] bool isOscillating(AgentIx agent) const {
+    return duty_[agent] != 0;
+  }
 
   /// True iff the agent is physically at its home node (trivially true for
   /// non-oscillating agents).
@@ -111,6 +115,13 @@ class OscillatorSystem {
 
   SyncEngine& engine_;
   std::vector<Osc> oscs_;
+  /// Agent -> index into oscs_ (kNoAgent = none): find() is O(1), which
+  /// matters because per-agent memory accounting queries isOscillating()
+  /// for every agent (O(k * oscillators) per snapshot otherwise).
+  std::vector<AgentIx> ixOf_;
+  /// Mirror of `!stops.empty() || !plan.empty()` per agent, maintained at
+  /// the duty transitions (stop added, retired trip cleared, retire()).
+  std::vector<std::uint8_t> duty_;
   bool installed_ = false;
 };
 

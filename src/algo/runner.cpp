@@ -35,6 +35,9 @@ RunResult finishSync(SyncEngine& engine, bool dispersed) {
   RunResult r;
   r.dispersed = dispersed;
   r.time = engine.round();
+  // In the SYNC model every agent performs one CCM cycle per round, so the
+  // activation count is exactly rounds * k (used for throughput telemetry).
+  r.activations = engine.round() * engine.agentCount();
   r.totalMoves = engine.totalMoves();
   r.maxMemoryBits = engine.memory().maxBits();
   r.finalPositions = engine.positionsSnapshot();

@@ -40,6 +40,14 @@ RootedSyncDispersion::RootedSyncDispersion(SyncEngine& engine)
   const std::uint32_t seekerCount = (k + 2) / 3;  // ⌈k/3⌉
   for (std::uint32_t i = 1; i <= seekerCount; ++i) st_[byId[i]].role = Role::Seeker;
   for (std::uint32_t i = seekerCount + 1; i < k; ++i) st_[byId[i]].role = Role::Explorer;
+  // byId is descending; record the seeker pool in ascending-ID order so
+  // probe gathering preserves the historical sorted order without sorting.
+  seekersById_.assign(byId.begin() + 1, byId.begin() + 1 + seekerCount);
+  std::reverse(seekersById_.begin(), seekersById_.end());
+
+  bitsDirtyFlag_.assign(k, 1);
+  bitsDirty_.resize(k);
+  for (AgentIx a = 0; a < k; ++a) bitsDirty_[a] = a;
 }
 
 void RootedSyncDispersion::start() {
@@ -73,20 +81,17 @@ std::uint64_t RootedSyncDispersion::agentBits(AgentIx a) const {
 }
 
 void RootedSyncDispersion::recordMemory() {
-  for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
+  // Only agents whose persistent fields changed since the last checkpoint
+  // can raise their high-water mark; unchanged agents would re-record the
+  // same value.  Every bit-affecting mutation calls markBits().
+  for (const AgentIx a : bitsDirty_) {
     engine_.memory().record(a, agentBits(a));
+    bitsDirtyFlag_[a] = 0;
   }
+  bitsDirty_.clear();
 }
 
 // ------------------------------------------------------------- helpers
-
-std::vector<AgentIx> RootedSyncDispersion::groupAt(NodeId v) const {
-  std::vector<AgentIx> g;
-  for (const AgentIx a : engine_.agentsAt(v)) {
-    if (!st_[a].settled) g.push_back(a);
-  }
-  return g;
-}
 
 AgentIx RootedSyncDispersion::pickSeekerAt(NodeId v) const {
   return minIdAgentAt(engine_, v, [this](AgentIx a) {
@@ -102,7 +107,11 @@ AgentIx RootedSyncDispersion::settlerAtNode(NodeId v) const {
 }
 
 Task RootedSyncDispersion::moveGroup(NodeId from, Port p) {
-  for (const AgentIx a : groupAt(from)) engine_.stageMove(a, p);
+  // Stage directly off the occupancy view (staging does not move agents,
+  // so the view stays valid) — no per-call group vector.
+  for (const AgentIx a : engine_.agentsAt(from)) {
+    if (!st_[a].settled) engine_.stageMove(a, p);
+  }
   co_await engine_.nextRound();
 }
 
@@ -122,6 +131,7 @@ AgentIx RootedSyncDispersion::chooseSettleCandidate(NodeId at) {
     who = pickSeekerAt(at);
     DISP_CHECK(who != kNoAgent, "no explorer and no seeker left to settle");
     st_[who].role = Role::Explorer;
+    markBits(who);
     ++stats_.borrows;
     DISP_CHECK(stats_.borrows <= 2, "more than two seeker borrows (bug)");
   }
@@ -183,6 +193,7 @@ Task RootedSyncDispersion::checkInRecord(NodeId v) {
       const AgentIx settler = settlerAtNode(v);
       if (settler != kNoAgent) {
         st_[settler].ownRecord = std::move(*inHand_);
+        markBits(settler);
         inHand_.reset();
         co_return;
       }
@@ -198,6 +209,7 @@ Task RootedSyncDispersion::checkInRecord(NodeId v) {
       const auto stop = osc_.currentStopPort(a);
       if (stop.has_value()) {
         st_[a].covered.push_back({*stop, v, std::move(*inHand_)});
+        markBits(a);
         inHand_.reset();
         co_return;
       }
@@ -222,6 +234,7 @@ Task RootedSyncDispersion::checkOutRecord(NodeId v) {
     st_[holder].covered.erase(st_[holder].covered.begin() +
                               static_cast<std::ptrdiff_t>(coveredIx));
   }
+  markBits(holder);
 }
 
 // --------------------------------------------------------------- errands
@@ -258,6 +271,7 @@ Task RootedSyncDispersion::messengerSiblingCover(NodeId u, Port portBackToParent
   const AgentIx anchor = foundSettler_;
   DISP_CHECK(st_[anchor].ownRecord.has_value(), "anchor settler without record");
   osc_.addSiblingStop(anchor, st_[anchor].ownRecord->parentPort, childPortOfU);
+  markBits(anchor);
   engine_.stageMove(m, engine_.pinOf(m));
   co_await engine_.nextRound();  // back at w
   engine_.stageMove(m, childPortOfU);
@@ -278,6 +292,7 @@ Task RootedSyncDispersion::trimLeaf(NodeId pw, Port portToLeaf, Port anchorPort)
 
   NodeRecord recW = std::move(*st_[aw].ownRecord);
   st_[aw].ownRecord.reset();
+  markBits(aw);
   recW.occupied = false;
   st_[aw].settled = false;
   st_[aw].settledAt = kInvalidNode;
@@ -299,6 +314,7 @@ Task RootedSyncDispersion::trimLeaf(NodeId pw, Port portToLeaf, Port anchorPort)
   DISP_CHECK(st_[anchor].ownRecord.has_value(), "anchor settler without record");
   osc_.addSiblingStop(anchor, st_[anchor].ownRecord->parentPort, portToLeaf);
   st_[anchor].covered.push_back({portToLeaf, w, std::move(recW)});
+  markBits(anchor);
 
   engine_.stageMove(m, engine_.pinOf(m));
   co_await engine_.nextRound();  // back at pw
@@ -315,13 +331,16 @@ Task RootedSyncDispersion::probeAt(NodeId w) {
   probeResult_ = kNoPort;
 
   while (inHand_->checked < limit) {
-    // Gather co-located seekers (ascending ID for determinism).
-    std::vector<AgentIx> seekers;
-    for (const AgentIx a : engine_.agentsAt(w)) {
-      if (!st_[a].settled && st_[a].role == Role::Seeker) seekers.push_back(a);
+    // Gather co-located seekers (ascending ID for determinism): walk the
+    // fixed ID-ordered seeker pool instead of sorting per iteration.
+    std::vector<AgentIx>& seekers = probeSeekers_;
+    seekers.clear();
+    for (const AgentIx a : seekersById_) {
+      if (!st_[a].settled && st_[a].role == Role::Seeker &&
+          engine_.positionOf(a) == w) {
+        seekers.push_back(a);
+      }
     }
-    std::sort(seekers.begin(), seekers.end(),
-              [&](AgentIx a, AgentIx b) { return engine_.idOf(a) < engine_.idOf(b); });
     DISP_CHECK(!seekers.empty(), "probe without seekers");
 
     const Port delta = static_cast<Port>(std::min<std::uint32_t>(
@@ -337,10 +356,11 @@ Task RootedSyncDispersion::probeAt(NodeId w) {
     // Wait 6 rounds at the neighbor; any co-location there (settler at
     // home, or an oscillating coverer passing through) marks it as a tree
     // node.  7 position snapshots cover a full oscillation period.
-    std::vector<std::uint8_t> met(delta, 0);
+    probeMet_.assign(delta, 0);
+    std::vector<std::uint8_t>& met = probeMet_;
     for (std::uint32_t snap = 0; snap <= 6; ++snap) {
       for (Port i = 0; i < delta; ++i) {
-        if (engine_.agentsAt(engine_.positionOf(seekers[i])).size() > 1) met[i] = 1;
+        if (engine_.countAt(engine_.positionOf(seekers[i])) > 1) met[i] = 1;
       }
       if (snap < 6) co_await engine_.nextRound();
     }
@@ -392,6 +412,7 @@ Task RootedSyncDispersion::forwardMove(NodeId w, Port p) {
     if (x <= 3) {
       co_await awaitSettlerIdleAtHome(w);
       osc_.addChildStop(foundSettler_, p);
+      markBits(foundSettler_);
       childEmpty = true;
     } else if (x % 3 == 1) {
       inHand_->anchorChildPort = p;  // new anchor; it will cover x+1, x+2
@@ -495,6 +516,7 @@ Task RootedSyncDispersion::retraverse(NodeId root) {
         DISP_CHECK(coveredIx != static_cast<std::size_t>(-1),
                    "empty node record held outside a coverer");
         NodeRecord taken = *rec;
+        markBits(holder);
         st_[holder].covered.erase(st_[holder].covered.begin() +
                                   static_cast<std::ptrdiff_t>(coveredIx));
         osc_.dropCurrentStop(holder);
@@ -506,6 +528,7 @@ Task RootedSyncDispersion::retraverse(NodeId root) {
         if (who == kNoAgent) who = leader_;  // leader settles last
         settleAgent(who, cur);
         st_[who].ownRecord = std::move(taken);
+        markBits(who);
         recordMemory();
         if (allSettled()) co_return;
       }

@@ -121,7 +121,6 @@ class RootedSyncDispersion {
                                            std::size_t* coveredIx = nullptr);
 
   // ---- group / role helpers ----
-  [[nodiscard]] std::vector<AgentIx> groupAt(NodeId v) const;  // unsettled co-located
   [[nodiscard]] AgentIx pickSeekerAt(NodeId v) const;
   [[nodiscard]] AgentIx settlerAtNode(NodeId v) const;
   Task moveGroup(NodeId from, Port p);
@@ -137,12 +136,32 @@ class RootedSyncDispersion {
 
   void recordMemory();
 
+  /// Marks an agent whose persistent fields changed so the next memory
+  /// checkpoint re-measures it.  Every mutation of ownRecord / covered /
+  /// oscillation duty / role must call this (trip-retirements inside the
+  /// oscillator system only lower an agent's bits, so they may go
+  /// unmarked without affecting the recorded high-water mark).
+  void markBits(AgentIx a) {
+    if (!bitsDirtyFlag_[a]) {
+      bitsDirtyFlag_[a] = 1;
+      bitsDirty_.push_back(a);
+    }
+  }
+
   SyncEngine& engine_;
   OscillatorSystem osc_;
   std::vector<AgentState> st_;
   SyncDispStats stats_;
   BitWidths widths_;
   AgentIx leader_ = kNoAgent;
+  /// All agents given the Seeker role, ascending by ID (fixed at start;
+  /// borrowed seekers are filtered out by their role at use).  Lets
+  /// Sync_Probe gather co-located seekers in ID order without re-sorting.
+  std::vector<AgentIx> seekersById_;
+  std::vector<AgentIx> probeSeekers_;   // scratch, reused across iterations
+  std::vector<std::uint8_t> probeMet_;  // scratch, reused across iterations
+  std::vector<AgentIx> bitsDirty_;      // agents to re-measure (see markBits)
+  std::vector<std::uint8_t> bitsDirtyFlag_;
 
   std::optional<NodeRecord> inHand_;  // record of the group's current node
   Port probeResult_ = kNoPort;

@@ -12,7 +12,7 @@ AsyncEngine::AsyncEngine(const Graph& g, std::vector<NodeId> startPositions,
       memory_(world_.agentCount()),
       scheduler_(std::move(scheduler)),
       fibers_(world_.agentCount()),
-      activeThisEpoch_(world_.agentCount(), 0) {
+      lastActiveStamp_(world_.agentCount(), 0) {
   DISP_REQUIRE(scheduler_ != nullptr, "scheduler required");
 }
 
@@ -64,22 +64,30 @@ void AsyncEngine::run(std::uint64_t maxActivations) {
     const AgentIx a = scheduler_->next();
     DISP_CHECK(a < agentCount(), "scheduler returned bad agent");
 
+    // Dispatch is hoisted behind the armed() check: an activation of an
+    // agent whose fiber already returned (it keeps being scheduled until
+    // finish()) skips the resume bookkeeping entirely but still counts
+    // toward the epoch, exactly as before.
     FiberState& fiber = fibers_[a];
-    current_ = a;
-    movedThisActivation_ = false;
     if (fiber.slot.armed()) {
+      current_ = a;
+      movedThisActivation_ = false;
       fiber.slot.take().resume();
+      current_ = kNoAgent;
+      if (fiber.task.done()) fiber.task.rethrowIfFailed();
     }
-    current_ = kNoAgent;
-    if (fiber.task.done()) fiber.task.rethrowIfFailed();
 
     ++activations_;
-    if (!activeThisEpoch_[a]) {
-      activeThisEpoch_[a] = 1;
+    // Epoch-stamp accounting: instead of clearing a per-agent flag array at
+    // every epoch boundary (an O(k) std::fill on the hot path), each agent
+    // records the stamp of the epoch it was last active in; bumping the
+    // stamp retires all k flags at once.
+    if (lastActiveStamp_[a] != epochStamp_) {
+      lastActiveStamp_[a] = epochStamp_;
       if (++activeCount_ == agentCount()) {
         ++epochs_;
         activeCount_ = 0;
-        std::fill(activeThisEpoch_.begin(), activeThisEpoch_.end(), 0);
+        ++epochStamp_;
       }
     }
   }

@@ -39,6 +39,8 @@ class AsyncEngine {
   [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
     return world_.agentsAt(v);
   }
+  /// O(1) co-location count (agentsAt(v).size() without materializing).
+  [[nodiscard]] std::uint32_t countAt(NodeId v) const { return world_.countAt(v); }
   [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
   [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
   [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
@@ -78,7 +80,12 @@ class AsyncEngine {
   std::vector<FiberState> fibers_;
   std::uint64_t epochs_ = 0;
   std::uint64_t activations_ = 0;
-  std::vector<std::uint8_t> activeThisEpoch_;
+  // Epoch-stamp accounting: lastActiveStamp_[a] is the value epochStamp_
+  // held when agent a last completed a cycle; agents with a stale stamp
+  // have not yet been active in the current epoch.  Stamps start at 0 and
+  // epochStamp_ at 1, so every agent begins "not yet active".
+  std::vector<std::uint64_t> lastActiveStamp_;
+  std::uint64_t epochStamp_ = 1;
   std::uint32_t activeCount_ = 0;
   AgentIx current_ = kNoAgent;
   bool movedThisActivation_ = false;

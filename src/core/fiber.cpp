@@ -1,6 +1,13 @@
 #include "core/fiber.hpp"
 
-// Task is header-only; this TU pins the component in the build graph.
 namespace disp {
+
+// Task itself stays a thin handle; the frame pool's thread-local free lists
+// live here.
 static_assert(sizeof(Task) == sizeof(void*), "Task should remain a thin handle");
+
+namespace detail {
+thread_local FramePool::FreeLists FramePool::lists_;
+}  // namespace detail
+
 }  // namespace disp

@@ -16,16 +16,76 @@
 // task exceptions are rethrown by the engine's run loop.
 
 #include <coroutine>
+#include <cstddef>
+#include <cstdlib>
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace disp {
+
+namespace detail {
+
+/// Thread-local size-bucketed free list for coroutine frames.  Protocols
+/// allocate one frame per nested co_await (probes, side trips, group moves
+/// — tens of thousands per run), so frame recycling takes malloc/free off
+/// the simulator hot path.  Thread-local keeps the exp/ BatchRunner's
+/// concurrent engines allocator-contention-free.
+class FramePool {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kBuckets = 32;  // frames up to 2 KiB pooled
+
+  [[nodiscard]] static void* allocate(std::size_t bytes) {
+    const std::size_t bucket = (bytes + kGranularity - 1) / kGranularity;
+    if (bucket >= kBuckets) return ::operator new(bytes);
+    FreeNode*& head = lists_.bucket[bucket];
+    if (head != nullptr) {
+      return std::exchange(head, head->next);
+    }
+    return ::operator new(bucket * kGranularity);
+  }
+
+  static void release(void* p, std::size_t bytes) noexcept {
+    const std::size_t bucket = (bytes + kGranularity - 1) / kGranularity;
+    if (bucket >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = std::exchange(lists_.bucket[bucket], node);
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  /// Recycled frames are handed back to the system at thread exit.
+  struct FreeLists {
+    FreeNode* bucket[kBuckets] = {};
+    ~FreeLists() {
+      for (FreeNode* head : bucket) {
+        while (head != nullptr) {
+          ::operator delete(std::exchange(head, head->next));
+        }
+      }
+    }
+  };
+  static thread_local FreeLists lists_;
+};
+
+}  // namespace detail
 
 class Task {
  public:
   struct promise_type {
     std::coroutine_handle<> continuation;  // parent frame, resumed on completion
     std::exception_ptr exception;
+
+    void* operator new(std::size_t bytes) { return detail::FramePool::allocate(bytes); }
+    void operator delete(void* p, std::size_t bytes) noexcept {
+      detail::FramePool::release(p, bytes);
+    }
 
     Task get_return_object() noexcept {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));

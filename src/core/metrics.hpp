@@ -14,7 +14,7 @@ namespace disp {
 struct RunResult {
   bool dispersed = false;      ///< every agent settled on a distinct node
   std::uint64_t time = 0;      ///< rounds (SYNC) or epochs (ASYNC)
-  std::uint64_t activations = 0;  ///< ASYNC only: total CCM cycles executed
+  std::uint64_t activations = 0;  ///< total CCM cycles (SYNC: rounds * k)
   std::uint64_t totalMoves = 0;   ///< edge traversals summed over agents
   std::uint64_t maxMemoryBits = 0;  ///< persistent-memory high-water mark
   std::vector<NodeId> finalPositions;  ///< per agent index

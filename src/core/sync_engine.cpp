@@ -10,14 +10,14 @@ SyncEngine::SyncEngine(const Graph& g, std::vector<NodeId> startPositions,
                        std::vector<AgentId> ids)
     : world_(g, std::move(startPositions), std::move(ids)),
       memory_(world_.agentCount()),
-      stagedFlag_(world_.agentCount(), 0) {}
+      stagedStamp_(world_.agentCount(), 0) {}
 
 void SyncEngine::stageMove(AgentIx a, Port p) {
   DISP_REQUIRE(a < agentCount(), "agent out of range");
-  DISP_CHECK(!stagedFlag_[a], "agent staged two moves in one round");
+  DISP_CHECK(stagedStamp_[a] != round_ + 1, "agent staged two moves in one round");
   const NodeId at = world_.positionOf(a);
   DISP_REQUIRE(p >= 1 && p <= graph().degree(at), "staged move through invalid port");
-  stagedFlag_[a] = 1;
+  stagedStamp_[a] = round_ + 1;
   staged_.emplace_back(a, p);
 }
 
@@ -28,6 +28,10 @@ StepAwait SyncEngine::nextRound() {
 
 void SyncEngine::addFiber(Task task) {
   DISP_REQUIRE(task.valid(), "fiber task is empty");
+  // The live-fiber index is snapshotted at run() entry (and the historical
+  // loop iterated fibers_ mid-range-for, which was never safe either), so
+  // fibers cannot join a run in progress.
+  DISP_CHECK(!running_, "addFiber() during run(): fibers must be added up front");
   auto fs = std::make_unique<FiberState>();
   fs->task = std::move(task);
   fibers_.push_back(std::move(fs));
@@ -35,18 +39,33 @@ void SyncEngine::addFiber(Task task) {
 
 void SyncEngine::commitRound() {
   for (const auto& [a, p] : staged_) {
-    world_.applyMove(a, p);
-    stagedFlag_[a] = 0;
+    // Validated by stageMove against a position that cannot have changed
+    // since (moves only commit here), so skip revalidation.
+    world_.applyMoveStaged(a, p);
   }
   staged_.clear();
-  ++round_;
+  ++round_;  // also retires every staging stamp for the round
 }
 
 void SyncEngine::run(std::uint64_t maxRounds) {
   const std::uint64_t limit = round_ + maxRounds;
+  running_ = true;
+  struct RunningGuard {
+    bool& flag;
+    ~RunningGuard() { flag = false; }
+  } guard{running_};
+  staged_.reserve(agentCount());
+  // Compacted live-fiber index: finished fibers leave the scan set, so a
+  // round costs O(live fibers), not O(all fibers ever added).  Insertion
+  // order is preserved — resume order is part of per-seed determinism.
+  live_.clear();
+  for (const auto& fiber : fibers_) {
+    if (!fiber->task.done()) live_.push_back(fiber.get());
+  }
   for (;;) {
-    for (const auto& fiber : fibers_) {
-      if (fiber->task.done()) continue;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      FiberState* fiber = live_[i];
       currentSlot_ = &fiber->slot;
       if (!fiber->started) {
         fiber->started = true;
@@ -55,10 +74,14 @@ void SyncEngine::run(std::uint64_t maxRounds) {
         fiber->slot.take().resume();
       }
       currentSlot_ = nullptr;
-      if (fiber->task.done()) fiber->task.rethrowIfFailed();
+      if (fiber->task.done()) {
+        fiber->task.rethrowIfFailed();
+      } else {
+        live_[keep++] = fiber;
+      }
     }
-    bool anyAlive = false;
-    for (const auto& fiber : fibers_) anyAlive |= !fiber->task.done();
+    live_.resize(keep);
+    const bool anyAlive = !live_.empty();
     // A round is only charged if it commits work or some fiber still waits
     // on it; the resume in which the last fiber merely returns is free.
     if (!anyAlive && staged_.empty()) break;

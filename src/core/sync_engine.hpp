@@ -36,6 +36,8 @@ class SyncEngine {
   [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
     return world_.agentsAt(v);
   }
+  /// O(1) co-location count (agentsAt(v).size() without materializing).
+  [[nodiscard]] std::uint32_t countAt(NodeId v) const { return world_.countAt(v); }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
   [[nodiscard]] MemoryLedger& memory() noexcept { return memory_; }
@@ -70,10 +72,16 @@ class SyncEngine {
   MemoryLedger memory_;
   std::uint64_t round_ = 0;
   std::vector<std::pair<AgentIx, Port>> staged_;
-  std::vector<std::uint8_t> stagedFlag_;
+  /// Round-stamp double-stage detection: the round (plus one, so zero means
+  /// never) in which each agent last staged — no per-round flag reset pass.
+  std::vector<std::uint64_t> stagedStamp_;
   std::vector<std::unique_ptr<FiberState>> fibers_;
+  /// Unfinished fibers in insertion order; run() scans and compacts this
+  /// instead of re-walking every fiber ever added.
+  std::vector<FiberState*> live_;
   std::vector<std::function<void()>> hooks_;
   ResumeSlot* currentSlot_ = nullptr;
+  bool running_ = false;  ///< guards addFiber() against mid-run additions
 };
 
 /// Convenience subtask: let `n` rounds pass.

@@ -1,43 +1,81 @@
 #include "core/world.hpp"
 
 #include <algorithm>
-#include <set>
 
 namespace disp {
 
 World::World(const Graph& g, std::vector<NodeId> startPositions, std::vector<AgentId> ids)
     : graph_(&g),
-      pos_(std::move(startPositions)),
       ids_(std::move(ids)),
-      occupants_(g.nodeCount()) {
-  DISP_REQUIRE(!pos_.empty(), "need at least one agent");
-  DISP_REQUIRE(pos_.size() == ids_.size(), "positions/ids size mismatch");
-  DISP_REQUIRE(pos_.size() <= g.nodeCount(), "k must be <= n");
+      nodes_(g.nodeCount()),
+      view_(g.nodeCount()),
+      log_(g.nodeCount()) {
+  DISP_REQUIRE(!startPositions.empty(), "need at least one agent");
+  DISP_REQUIRE(startPositions.size() == ids_.size(), "positions/ids size mismatch");
+  DISP_REQUIRE(startPositions.size() <= g.nodeCount(), "k must be <= n");
+  DISP_REQUIRE(startPositions.size() < kLogRemove, "agent count exceeds the log encoding");
   {
-    std::set<AgentId> unique(ids_.begin(), ids_.end());
-    DISP_REQUIRE(unique.size() == ids_.size(), "agent IDs must be unique");
+    // Sort-and-adjacent-find over a scratch vector: O(k log k) with one
+    // allocation, instead of a per-run std::set of tree nodes.
+    std::vector<AgentId> scratch(ids_);
+    std::sort(scratch.begin(), scratch.end());
+    DISP_REQUIRE(std::adjacent_find(scratch.begin(), scratch.end()) == scratch.end(),
+                 "agent IDs must be unique");
   }
-  pin_.assign(pos_.size(), kNoPort);
+  agents_.resize(startPositions.size());
   for (AgentIx a = 0; a < agentCount(); ++a) {
-    DISP_REQUIRE(pos_[a] < g.nodeCount(), "start position out of range");
-    occupants_[pos_[a]].push_back(a);
+    const NodeId v = startPositions[a];
+    DISP_REQUIRE(v < g.nodeCount(), "start position out of range");
+    AgentCell& cell = agents_[a];
+    cell.pos = v;
+    cell.pin = kNoPort;
+    NodeCell& node = nodes_[v];
+    cell.next = node.head;
+    if (node.head != kNoAgent) agents_[node.head].prev = a;
+    node.head = a;
+    ++node.count;
   }
 }
 
 void World::applyMove(AgentIx a, Port p) {
   DISP_REQUIRE(a < agentCount(), "agent out of range");
-  const NodeId from = pos_[a];
+  const NodeId from = agents_[a].pos;
   DISP_REQUIRE(p >= 1 && p <= graph_->degree(from), "move through invalid port");
-  const NodeId to = graph_->neighbor(from, p);
+  moveInternal(a, from, p);
+}
 
-  auto& fromOcc = occupants_[from];
-  fromOcc.erase(std::find(fromOcc.begin(), fromOcc.end(), a));
-  auto& toOcc = occupants_[to];
-  toOcc.insert(std::upper_bound(toOcc.begin(), toOcc.end(), a), a);
-
-  pos_[a] = to;
-  pin_[a] = graph_->reversePort(from, p);
-  ++totalMoves_;
+void World::materialize(NodeId v) const {
+  std::vector<AgentIx>& out = view_[v];
+  if (nodes_[v].viewState == kViewPendingLog) {
+    // Replay the few pending ops into the still-sorted cache.
+    for (const AgentIx entry : log_[v]) {
+      const AgentIx a = entry & ~kLogRemove;
+      if (entry & kLogRemove) {
+        const auto it = std::lower_bound(out.begin(), out.end(), a);
+        DISP_DCHECK(it != out.end() && *it == a, "occupancy log desynchronized");
+        out.erase(it);
+      } else {
+        out.insert(std::upper_bound(out.begin(), out.end(), a), a);
+      }
+    }
+    log_[v].clear();
+  } else {
+    out.clear();
+    // Push-front insertion makes the list *descending* whenever a group
+    // arrives in ascending commit order (the dominant burst pattern), so
+    // detect that while walking and reverse in O(g) instead of sorting.
+    bool descending = true;
+    for (AgentIx a = nodes_[v].head; a != kNoAgent; a = agents_[a].next) {
+      descending = descending && (out.empty() || out.back() > a);
+      out.push_back(a);
+    }
+    if (descending) {
+      std::reverse(out.begin(), out.end());
+    } else {
+      std::sort(out.begin(), out.end());
+    }
+  }
+  nodes_[v].viewState = kViewClean;
 }
 
 }  // namespace disp

@@ -3,6 +3,19 @@
 // per-node occupant sets.  Nodes themselves remain memoryless — occupancy
 // is engine bookkeeping for co-location queries, which are exactly what the
 // paper's local communication model permits.
+//
+// Hot-path layout (see DESIGN.md "Hot-path data structures"): occupancy is
+// an intrusive doubly-linked list per node threaded through flat cell
+// arrays (AgentCell packs pos/pin/next/prev, NodeCell packs
+// head/count/view-state — one cache line each per move), so applyMove() is
+// O(1) regardless of how many agents share a node.  agentsAt() serves the
+// documented ascending-by-agent-index view from a per-node cache that is
+// repaired lazily: each move appends an add/remove op to the node's pending
+// log, and the next query replays the log into the sorted cache (O(ops * g))
+// — unless the log overflowed, in which case the cache is rebuilt from the
+// list and sorted (O(g log g)).  Query-heavy phases (ASYNC probing) pay the
+// cheap replay; move-heavy bursts (SYNC group hops) coalesce into one
+// rebuild per query instead of per-move sorted inserts.
 
 #include <cstdint>
 #include <vector>
@@ -24,7 +37,7 @@ class World {
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] std::uint32_t agentCount() const noexcept {
-    return static_cast<std::uint32_t>(pos_.size());
+    return static_cast<std::uint32_t>(agents_.size());
   }
 
   [[nodiscard]] AgentId idOf(AgentIx a) const {
@@ -33,19 +46,29 @@ class World {
   }
   [[nodiscard]] NodeId positionOf(AgentIx a) const {
     DISP_DCHECK(a < agentCount(), "agent out of range");
-    return pos_[a];
+    return agents_[a].pos;
   }
   /// Incoming port: the port of the current node through which the agent
   /// last arrived (kNoPort before the first move).
   [[nodiscard]] Port pinOf(AgentIx a) const {
     DISP_DCHECK(a < agentCount(), "agent out of range");
-    return pin_[a];
+    return agents_[a].pin;
   }
 
-  /// Agents co-located at node v, ascending by agent index.
+  /// Agents co-located at node v, ascending by agent index.  The reference
+  /// stays valid until the next applyMove() touching v (same contract as
+  /// the historical always-sorted vectors).
   [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
     DISP_DCHECK(v < graph_->nodeCount(), "node out of range");
-    return occupants_[v];
+    if (nodes_[v].viewState != kViewClean) materialize(v);
+    return view_[v];
+  }
+
+  /// Number of agents at node v: O(1), never materializes the sorted view.
+  /// Prefer this over agentsAt(v).size() on hot paths.
+  [[nodiscard]] std::uint32_t countAt(NodeId v) const {
+    DISP_DCHECK(v < graph_->nodeCount(), "node out of range");
+    return nodes_[v].count;
   }
 
   [[nodiscard]] std::uint64_t totalMoves() const noexcept { return totalMoves_; }
@@ -53,12 +76,90 @@ class World {
   /// Moves agent `a` through port `p` of its current node (immediately).
   void applyMove(AgentIx a, Port p);
 
+  /// Same, but skips the argument validation: for engine commit loops whose
+  /// moves were already validated at staging time against a position that
+  /// cannot have changed since (SYNC stage/commit discipline).
+  void applyMoveStaged(AgentIx a, Port p) {
+    DISP_DCHECK(a < agentCount(), "agent out of range");
+    DISP_DCHECK(p >= 1 && p <= graph_->degree(agents_[a].pos),
+                "move through invalid port");
+    moveInternal(a, agents_[a].pos, p);
+  }
+
  private:
+  enum : std::uint8_t { kViewClean = 0, kViewPendingLog = 1, kViewRebuild = 2 };
+  // Pending ops replayable in O(g) each stay worthwhile only in small
+  // numbers; past this the next query rebuilds and sorts from scratch.
+  static constexpr std::size_t kMaxPendingOps = 8;
+  // Log entries are the agent index with the top bit set for removals.
+  static constexpr AgentIx kLogRemove = AgentIx{1} << 31;
+
+  /// Per-agent hot state: one 16-byte cell per move endpoint.
+  struct AgentCell {
+    NodeId pos = kInvalidNode;
+    Port pin = kNoPort;
+    AgentIx next = kNoAgent;  ///< intrusive occupancy-list links
+    AgentIx prev = kNoAgent;
+  };
+  /// Per-node hot state: list head, occupant count, sorted-view freshness.
+  struct NodeCell {
+    AgentIx head = kNoAgent;
+    std::uint32_t count = 0;
+    std::uint8_t viewState = kViewRebuild;
+  };
+
+  void materialize(NodeId v) const;
+
+  void moveInternal(AgentIx a, NodeId from, Port p) {
+    const NodeId to = graph_->neighbor(from, p);
+    AgentCell& cell = agents_[a];
+    NodeCell& src = nodes_[from];
+    NodeCell& dst = nodes_[to];
+
+    // Unlink from `from`'s list ...
+    if (cell.prev == kNoAgent) {
+      src.head = cell.next;
+    } else {
+      agents_[cell.prev].next = cell.next;
+    }
+    if (cell.next != kNoAgent) agents_[cell.next].prev = cell.prev;
+    // ... and push onto the front of `to`'s list.  All O(1); order inside
+    // the list is irrelevant because the agentsAt() views are kept sorted.
+    cell.next = dst.head;
+    cell.prev = kNoAgent;
+    if (dst.head != kNoAgent) agents_[dst.head].prev = a;
+    dst.head = a;
+    --src.count;
+    ++dst.count;
+    logOp(from, a | kLogRemove);
+    logOp(to, a);
+
+    cell.pos = to;
+    cell.pin = graph_->reversePort(from, p);
+    ++totalMoves_;
+  }
+
+  void logOp(NodeId v, AgentIx entry) {
+    NodeCell& node = nodes_[v];
+    if (node.viewState == kViewRebuild) return;  // log already abandoned
+    std::vector<AgentIx>& log = log_[v];
+    if (log.size() >= kMaxPendingOps) {
+      log.clear();
+      node.viewState = kViewRebuild;
+      return;
+    }
+    log.push_back(entry);
+    node.viewState = kViewPendingLog;
+  }
+
   const Graph* graph_;
-  std::vector<NodeId> pos_;
-  std::vector<Port> pin_;
+  std::vector<AgentCell> agents_;
   std::vector<AgentId> ids_;
-  std::vector<std::vector<AgentIx>> occupants_;
+  mutable std::vector<NodeCell> nodes_;  // viewState flips on (const) queries
+  // Lazily-repaired sorted views of the occupancy lists plus the per-node
+  // pending-op logs (chronological).
+  mutable std::vector<std::vector<AgentIx>> view_;
+  mutable std::vector<std::vector<AgentIx>> log_;
   std::uint64_t totalMoves_ = 0;
 };
 

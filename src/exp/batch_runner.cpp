@@ -55,7 +55,8 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
   // (Validated at the spec's largest k: a weighted slow set bigger than a
   // *smaller* k is a per-cell condition, handled like any placement
   // mismatch below.)
-  const std::uint32_t maxK = *std::max_element(spec.ks.begin(), spec.ks.end());
+  const std::vector<std::uint32_t> runKs = spec.scaledKs();
+  const std::uint32_t maxK = *std::max_element(runKs.begin(), runKs.end());
   for (const std::string& sched : spec.schedulers) {
     (void)makeSchedulerByName(sched, maxK, 1);
   }
@@ -87,7 +88,12 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
   }
 
   // One work item per (cell, replicate); each writes only its own slot.
+  // Per-cell countdowns detect the last replicate so finished cells can be
+  // summarized and streamed immediately (onCellDone).
   const std::size_t reps = spec.seeds.size();
+  std::vector<std::atomic<std::size_t>> remaining(keys.size());
+  for (auto& r : remaining) r.store(reps, std::memory_order_relaxed);
+  std::mutex cellDoneMutex;
   parallelFor(options_.threads, keys.size() * reps, [&](std::size_t job) {
     const std::size_t cellIx = job / reps;
     const std::size_t repIx = job % reps;
@@ -118,16 +124,22 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
       slot.edges = g.edgeCount();
       slot.error = e.what();
     }
-  });
-
-  for (Cell& cell : result.cells) {
-    std::vector<double> times;
-    times.reserve(cell.replicates.size());
-    for (const RunRecord& r : cell.replicates) {
-      if (r.error.empty()) times.push_back(double(r.run.time));
+    if (remaining[cellIx].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last replicate of this cell: summarize (only this worker touches
+      // the cell now) and stream it.
+      Cell& cell = result.cells[cellIx];
+      std::vector<double> times;
+      times.reserve(cell.replicates.size());
+      for (const RunRecord& r : cell.replicates) {
+        if (r.error.empty()) times.push_back(double(r.run.time));
+      }
+      cell.time = summarize(times);
+      if (options_.onCellDone) {
+        const std::lock_guard<std::mutex> lock(cellDoneMutex);
+        options_.onCellDone(cell);
+      }
     }
-    cell.time = summarize(times);
-  }
+  });
   return result;
 }
 

@@ -18,6 +18,12 @@ namespace disp::exp {
 struct BatchOptions {
   /// Worker threads; 0 = hardware_concurrency, 1 = run inline.
   unsigned threads = 0;
+  /// When set, invoked once per cell as soon as its last replicate lands
+  /// (summary already computed), in completion order — NOT canonical order.
+  /// Calls are serialized under a runner-internal mutex, so the callback
+  /// needs no locking of its own.  Large-k sweeps use this to stream rows
+  /// to JSONL so a killed run keeps its completed cells.
+  std::function<void(const Cell&)> onCellDone;
 };
 
 /// Runs fn(0) .. fn(jobs-1), work-stealing over `threads` workers

@@ -20,6 +20,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchTable1AsyncGeneral},
       {"table1_memory", "E5: max persistent bits/agent vs O(log(k+Delta))",
        &benchTable1Memory},
+      {"table1_scale", "E15: SYNC rooted at k=2^10..2^14 (streams cells to JSONL)",
+       &benchTable1Scale},
       {"fig1_empty_selection", "E6: empty-node fraction on random trees (Lemma 1)",
        &benchFig1EmptySelection},
       {"fig2_oscillation", "E7: cover-assignment statistics (Lemmas 2-3)",

@@ -1,6 +1,7 @@
 #pragma once
-// The fourteen named experiment suites (the former hand-rolled bench
-// binaries), each a declarative body over the sweep/batch/sink subsystem.
+// The fifteen named experiment suites (the former hand-rolled bench
+// binaries plus the large-k scale sweep), each a declarative body over the
+// sweep/batch/sink subsystem.
 // Registered by name in bench_registry.cpp; the bench/*.cpp binaries are
 // thin one-line mains over benchMain().
 
@@ -14,6 +15,9 @@ void benchTable1AsyncRooted(BenchContext& ctx);   // E2
 void benchTable1SyncGeneral(BenchContext& ctx);   // E3
 void benchTable1AsyncGeneral(BenchContext& ctx);  // E4
 void benchTable1Memory(BenchContext& ctx);        // E5
+
+// Large-k scale sweep, streams cells to JSONL (benches_scale.cpp).
+void benchTable1Scale(BenchContext& ctx);         // E15
 
 // Figure / lemma probes (benches_figs.cpp).
 void benchFig1EmptySelection(BenchContext& ctx);  // E6

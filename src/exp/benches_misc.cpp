@@ -113,9 +113,11 @@ void benchAblationScheduler(BenchContext& ctx) {
 }
 
 // E14 — wall-clock telemetry: how fast the *simulator* itself runs each
-// algorithm (ms per full dispersion run).  This is engineering data, not a
-// paper claim — the paper's "time" is rounds/epochs, measured by E1–E4.
-// Each configuration repeats until 100ms of wall time has accumulated.
+// algorithm (ms per full dispersion run, plus activations/sec and
+// moves/sec derived from the run counters so hot-path speedups read as
+// throughput).  This is engineering data, not a paper claim — the paper's
+// "time" is rounds/epochs, measured by E1–E4.  Each configuration repeats
+// until 100ms of wall time has accumulated.
 void benchWallclock(BenchContext& ctx) {
   const std::string name = "wallclock";
   ctx.out << "# E14: wall-clock — simulator throughput (telemetry, not a claim)\n";
@@ -137,11 +139,14 @@ void benchWallclock(BenchContext& ctx) {
       {Algorithm::GeneralSync, "round_robin", 64, 4},
       {Algorithm::GeneralSync, "round_robin", 128, 4},
   };
-  Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run"});
+  Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run", "Mact/s",
+           "Mmoves/s"});
   for (const Config& cfg : configs) {
     const Graph g = makeFamily({"er", 2 * cfg.k, 7});
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t runs = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t moves = 0;
     double elapsedMs = 0.0;
     do {
       const Placement p =
@@ -150,10 +155,15 @@ void benchWallclock(BenchContext& ctx) {
       const RunResult r = runDispersion(g, p, {cfg.algo, cfg.sched, 5});
       DISP_CHECK(r.dispersed, "wallclock config failed to disperse");
       ++runs;
+      activations += r.activations;
+      moves += r.totalMoves;
       elapsedMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
     } while (elapsedMs < 100.0 || runs < 3);
+    // Throughput in millions per second: CCM cycles simulated (SYNC counts
+    // k per round by definition) and edge traversals applied.
+    const double seconds = elapsedMs / 1000.0;
     t.row()
         .cell(algorithmName(cfg.algo))
         .cell(cfg.sched)
@@ -161,7 +171,9 @@ void benchWallclock(BenchContext& ctx) {
         .cell(std::uint64_t{cfg.clusters})
         .cell(runs)
         .cell(elapsedMs, 1)
-        .cell(elapsedMs / double(runs), 3);
+        .cell(elapsedMs / double(runs), 3)
+        .cell(double(activations) / seconds / 1e6, 2)
+        .cell(double(moves) / seconds / 1e6, 2);
   }
   emitTable(ctx, name, "simulator wall-clock per dispersion run", t);
 }

@@ -1,0 +1,75 @@
+// E15 — Table 1 at scale: the large-k sweeps the hot-path overhaul pays
+// for (k = 2^10 .. 2^14, n = 2k).  SYNC rooted only: the paper's O(k)
+// algorithm is the one whose simulation cost stays tractable at this size
+// (total moves are Θ(k²) simulation facts regardless of engine speed).
+//
+// Cells stream: every finished cell is mirrored to the JSONL sink the
+// moment its replicates land (completion order), so a killed sweep keeps
+// its completed cells; the markdown tables still print in canonical order
+// at the end.
+#include <mutex>
+
+#include "exp/benches.hpp"
+
+namespace disp::exp {
+
+void benchTable1Scale(BenchContext& ctx) {
+  const std::string name = "table1_scale";
+  ctx.out << "# E15: Table 1 at scale — SYNC rooted, k=2^10..2^14\n";
+  for (const std::string family : {"er", "grid", "randtree"}) {
+    SweepSpec spec;
+    spec.name = name;
+    spec.families = {family};
+    spec.ks = {1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
+    spec.scale = scale();  // ks are literal, so fold DISP_BENCH_SCALE here
+    spec.algorithms = {Algorithm::RootedSync};
+    spec.seeds = ctx.seedsOr(3);
+
+    BatchRunner runner = ctx.runner();
+    if (ctx.jsonl != nullptr) {
+      BatchOptions opts = ctx.batch;
+      opts.onCellDone = [&ctx, &name](const Cell& c) {
+        // One progress row per finished cell (flushed by the sink); rows
+        // carry the full simulation facts so partial runs stay usable.
+        std::vector<std::pair<std::string, std::string>> fields;
+        fields.emplace_back("sweep", name);
+        fields.emplace_back("table", "cell");
+        fields.emplace_back("family", c.key.family);
+        fields.emplace_back("k", std::to_string(c.key.k));
+        fields.emplace_back("n", std::to_string(c.first().n));
+        fields.emplace_back("rounds", fmt(c.meanTime(), c.replicates.size() == 1 ? 0 : 1));
+        fields.emplace_back("moves", std::to_string(c.first().run.totalMoves));
+        fields.emplace_back("dispersed", c.allDispersed() ? "yes" : "NO");
+        ctx.jsonl->record(fields);
+      };
+      runner = BatchRunner(opts);
+    }
+    const SweepResult res = runner.run(spec);
+
+    Table t({"k", "n", "m", "Delta", "rounds", "rounds/k", "moves", "dispersed"});
+    std::vector<double> ks, ours;
+    for (const std::uint32_t k : spec.scaledKs()) {
+      const Cell& c = res.at({family, k, 1, "round_robin", Algorithm::RootedSync});
+      t.row()
+          .cell(std::uint64_t{k})
+          .cell(std::uint64_t{c.first().n})
+          .cell(c.first().edges)
+          .cell(std::uint64_t{c.first().maxDegree});
+      timeCell(t, c);
+      t.cell(c.meanTime() / k, 2)
+          .cell(c.first().run.totalMoves)
+          .cell(std::string(c.allDispersed() ? "yes" : "NO"));
+      if (c.allDispersed()) {
+        ks.push_back(k);
+        ours.push_back(c.meanTime());
+      }
+    }
+    emitTable(ctx, name, "family: " + family, t);
+    if (ks.size() >= 2) {
+      emitNote(ctx, name, "fit",
+               growthDiagnosisLine(family + "/RootedSync@scale", ks, ours));
+    }
+  }
+}
+
+}  // namespace disp::exp

@@ -42,7 +42,9 @@ void JsonlWriter::record(
     appendJsonString(line, value);
   }
   line += "}";
-  os_ << line << '\n';
+  // Flush per row: a killed large-k sweep keeps every row written so far
+  // (the rows are also the unit scripts/record_bench_baseline.sh parses).
+  os_ << line << '\n' << std::flush;
 }
 
 void emitTable(BenchContext& ctx, const std::string& sweep, const std::string& title,

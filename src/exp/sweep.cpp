@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +39,20 @@ RunRecord runCell(const Graph& g, const CaseSpec& c) {
   return out;
 }
 
+std::vector<std::uint32_t> SweepSpec::scaledKs() const {
+  if (scale == 1.0) return ks;
+  DISP_REQUIRE(scale > 0.0, "sweep '" + name + "' has a non-positive scale");
+  std::vector<std::uint32_t> out;
+  out.reserve(ks.size());
+  for (const std::uint32_t k : ks) {
+    const auto scaled =
+        std::max<std::uint32_t>(8, static_cast<std::uint32_t>(double(k) * scale));
+    // Clamping can collapse neighbors; keep first occurrence, spec order.
+    if (std::find(out.begin(), out.end(), scaled) == out.end()) out.push_back(scaled);
+  }
+  return out;
+}
+
 std::string CellKey::describe() const {
   std::ostringstream os;
   os << family << " k=" << k << " l=" << clusters << " sched=" << scheduler
@@ -72,10 +87,11 @@ std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
                    !spec.clusterCounts.empty() && !spec.schedulers.empty() &&
                    !spec.seeds.empty(),
                "sweep '" + spec.name + "' has an empty axis");
+  const std::vector<std::uint32_t> ks = spec.scaledKs();
   std::vector<CellKey> keys;
   keys.reserve(spec.cellCount());
   for (const std::string& family : spec.families) {
-    for (const std::uint32_t k : spec.ks) {
+    for (const std::uint32_t k : ks) {
       for (const std::uint32_t clusters : spec.clusterCounts) {
         for (const std::string& scheduler : spec.schedulers) {
           for (const Algorithm algorithm : spec.algorithms) {

@@ -78,9 +78,18 @@ struct SweepSpec {
   double nOverK = 2.0;
   PortLabeling labeling = PortLabeling::RandomPermutation;
   std::uint64_t limit = 0;  ///< per-run round/activation cap; 0 = auto
+  /// Multiplies the k axis at enumeration time (each k clamped to >= 8,
+  /// duplicates dropped).  1.0 = run `ks` as written.  Sweeps whose ks are
+  /// spelled out literally (e.g. table1_scale's 2^10..2^14) set this from
+  /// scale() so DISP_BENCH_SCALE still shrinks or grows them; sweeps built
+  /// via kSweep() already folded the env scale into `ks` and keep 1.0.
+  double scale = 1.0;
 
-  [[nodiscard]] std::size_t cellCount() const noexcept {
-    return families.size() * ks.size() * algorithms.size() *
+  /// The k axis after applying `scale`.
+  [[nodiscard]] std::vector<std::uint32_t> scaledKs() const;
+
+  [[nodiscard]] std::size_t cellCount() const {
+    return families.size() * scaledKs().size() * algorithms.size() *
            clusterCounts.size() * schedulers.size();
   }
 };

@@ -25,6 +25,12 @@ void expectSameRun(const RunResult& a, const RunResult& b, const std::string& wh
   EXPECT_EQ(a.finalPositions, b.finalPositions) << what;
 }
 
+BatchRunner runnerWith(unsigned threads) {
+  BatchOptions options;
+  options.threads = threads;
+  return BatchRunner(options);
+}
+
 SweepSpec smallSpec() {
   SweepSpec spec;
   spec.name = "test";
@@ -68,21 +74,21 @@ TEST(BatchRunner, RejectsUnknownSchedulerNameUpFront) {
   // cell into errored replicates.
   SweepSpec spec = smallSpec();
   spec.schedulers = {"round_robbin"};
-  EXPECT_THROW((void)BatchRunner({1}).run(spec), std::invalid_argument);
+  EXPECT_THROW((void)runnerWith(1).run(spec), std::invalid_argument);
 }
 
 TEST(Sweep, ResultLookupThrowsOnMissingCell) {
   SweepSpec spec = smallSpec();
   spec.seeds = {1};
-  const SweepResult res = BatchRunner({1}).run(spec);
+  const SweepResult res = runnerWith(1).run(spec);
   EXPECT_THROW((void)res.at({"grid", 12, 1, "round_robin", Algorithm::RootedSync}),
                std::out_of_range);
 }
 
 TEST(BatchRunner, ParallelIsBitIdenticalToSerial) {
   const SweepSpec spec = smallSpec();
-  const SweepResult serial = BatchRunner({1}).run(spec);
-  const SweepResult parallel = BatchRunner({4}).run(spec);
+  const SweepResult serial = runnerWith(1).run(spec);
+  const SweepResult parallel = runnerWith(4).run(spec);
   ASSERT_EQ(serial.cells.size(), parallel.cells.size());
   for (std::size_t i = 0; i < serial.cells.size(); ++i) {
     const Cell& a = serial.cells[i];
@@ -111,7 +117,7 @@ TEST(BatchRunner, MatchesDirectRunCellResults) {
   spec.algorithms = {Algorithm::GeneralSync};
   spec.clusterCounts = {4};
   spec.seeds = {7, 8};
-  const SweepResult res = BatchRunner({2}).run(spec);
+  const SweepResult res = runnerWith(2).run(spec);
   const Cell& cell = res.at({"er", 16, 4, "round_robin", Algorithm::GeneralSync});
   for (std::size_t r = 0; r < spec.seeds.size(); ++r) {
     const RunRecord direct = runCell(
@@ -129,7 +135,7 @@ TEST(BatchRunner, RecordsLimitErrorsInsteadOfThrowing) {
   spec.algorithms = {Algorithm::RootedSync};
   spec.seeds = {1, 2};
   spec.limit = 1;  // guaranteed to hit the round cap
-  const SweepResult res = BatchRunner({2}).run(spec);
+  const SweepResult res = runnerWith(2).run(spec);
   const Cell& cell = res.cells.front();
   EXPECT_FALSE(cell.allDispersed());
   EXPECT_EQ(cell.time.count, 0u);
