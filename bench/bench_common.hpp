@@ -25,7 +25,7 @@ using CaseResult = exp::RunRecord;
 
 /// Builds the graph (n = ratio*k nodes), places agents and runs once.
 inline CaseResult runCase(const std::string& family, std::uint32_t k,
-                          Algorithm algo, std::uint32_t clusters = 1,
+                          const std::string& algo, std::uint32_t clusters = 1,
                           const std::string& sched = "round_robin",
                           std::uint64_t seed = 17, double nOverK = 2.0) {
   return exp::runCell({family, k, algo, clusters, sched, seed, nOverK,
@@ -40,7 +40,7 @@ struct ReplicatedCase {
 };
 
 inline ReplicatedCase runCaseReplicates(const std::string& family, std::uint32_t k,
-                                        Algorithm algo,
+                                        const std::string& algo,
                                         const std::vector<std::uint64_t>& seeds,
                                         std::uint32_t clusters = 1,
                                         const std::string& sched = "round_robin",

@@ -6,6 +6,7 @@
 //   disp_bench table1_sync_rooted fig5_sync_probe --seeds=1,2,3,4,5
 #include <iostream>
 
+#include "algo/registry.hpp"
 #include "exp/bench_registry.hpp"
 #include "util/cli.hpp"
 
@@ -13,11 +14,18 @@ namespace {
 
 void printUsage(std::ostream& os) {
   os << "usage: disp_bench [--list] [--threads=N] [--seeds=a,b,c] [--jsonl=PATH]\n"
+        "                  [--trace=PATH | --trajectory=PATH] [--sample=N]\n"
         "                  <sweep>... | all\n\n"
         "sweeps:\n";
   for (const auto& def : disp::exp::benchRegistry()) {
     os << "  " << def.name << "\n      " << def.summary << "\n";
   }
+  os << "\n--seeds replicates add per-cell \"±95\" CI columns to the tables.\n"
+        "--trace streams every run's typed events + sampled snapshots as\n"
+        "JSON-lines (cadence --sample=N; schema validated by\n"
+        "scripts/check_trace.sh).  Algorithms are registry keys:\n";
+  os << " ";
+  for (const auto& key : disp::algorithmKeys()) os << " " << key;
   os << "\nDISP_BENCH_SCALE in {0.5, 1, 2, 4} scales every sweep.\n";
 }
 

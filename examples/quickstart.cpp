@@ -1,9 +1,12 @@
 // Quickstart: build a graph, drop k agents on one node, run the paper's
-// O(k)-round SYNC dispersion, inspect the result.
+// O(k)-round SYNC dispersion as an *observable session* — watch the settle
+// trajectory live, then inspect the result.
 //
-//   ./quickstart [--family=er] [--n=64] [--k=48] [--seed=7]
+//   ./quickstart [--family=er] [--n=64] [--k=48] [--seed=7] [--sample=32]
+#include <algorithm>
 #include <iostream>
 
+#include "algo/registry.hpp"
 #include "algo/runner.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
@@ -16,6 +19,8 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint32_t>(cli.integer("n", 64));
   const auto k = static_cast<std::uint32_t>(cli.integer("k", 48));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 7));
+  const auto sample =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(1, cli.integer("sample", 32)));
 
   // 1. An anonymous port-labeled graph.
   const Graph g = makeFamily({family, n, seed});
@@ -25,15 +30,37 @@ int main(int argc, char** argv) {
   // 2. A rooted initial configuration: k agents stacked on node 0.
   const Placement p = rootedPlacement(g, k, /*root=*/0, seed);
 
-  // 3. Run RootedSyncDisp (Theorem 6.1).
-  const RunResult r = runDispersion(g, p, {Algorithm::RootedSync});
+  // 3. Run RootedSyncDisp (Theorem 6.1) as a session: algorithms are
+  //    registry keys (algo/registry.hpp), and the observer hooks stream the
+  //    run — here a settled-count trajectory plus an event tally.
+  RunOptions opts;
+  opts.algorithm = "rooted_sync";
+  opts.sampleEvery = sample;
+  opts.captureTrajectory = true;
+  std::uint64_t settles = 0, dutyChanges = 0;
+  opts.onEvent = [&](const TraceEvent& e) {
+    settles += e.kind == TraceEventKind::Settle;
+    dutyChanges += e.kind == TraceEventKind::OscillationDuty;
+  };
+  const RunResult r = runSession(g, p, opts);
   std::cout << "RootedSyncDisp: " << r.summary() << "\n";
   std::cout << "rounds/k = " << double(r.time) / k
             << "  (the paper's bound is O(k) rounds total)\n";
+  std::cout << "trajectory (every " << sample << " rounds):";
+  for (const TrajectoryPoint& pt : r.trajectory) {
+    std::cout << " " << pt.time << ":" << pt.settled;
+  }
+  std::cout << "\nevents: " << settles << " settles, " << dutyChanges
+            << " oscillation duty changes\n";
 
   // 4. Compare with the asynchronous algorithm under an adversarial
-  //    scheduler (Theorem 7.1, O(k log k) epochs).
-  const RunResult ra = runDispersion(g, p, {Algorithm::RootedAsync, "uniform", seed});
+  //    scheduler (Theorem 7.1, O(k log k) epochs) — no observers attached;
+  //    a zero-observer session is exactly the historical fire-and-forget run.
+  RunOptions async;
+  async.algorithm = "rooted_async";
+  async.scheduler = "uniform";
+  async.seed = seed;
+  const RunResult ra = runSession(g, p, async);
   std::cout << "RootedAsyncDisp: " << ra.summary() << "\n";
   return r.dispersed && ra.dispersed ? 0 : 1;
 }

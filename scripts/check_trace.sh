@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Validates a `disp_bench --trace=...` JSON-lines file against the trace
+# schema (exp/sink.hpp / DESIGN.md §7):
+#
+#   scripts/check_trace.sh events.jsonl
+#
+# Checks, per line: valid JSON, a known "event" kind, the required keys for
+# that kind, and numeric-or-"-" payload fields.  Checks, per (cell, seed)
+# stream: event times non-decreasing, settle/collapse balance never
+# negative, and — for streams that close cleanly (engines always end a
+# completed run with a terminal "sample" line; a limit-hit replicate's
+# stream ends mid-events instead) — the final sampled settled count equals
+# the stream's settle-collapse balance.  Exits nonzero with a diagnostic
+# on the first violation.
+set -euo pipefail
+
+TRACE="${1:?usage: scripts/check_trace.sh <trace.jsonl>}"
+
+python3 - "${TRACE}" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+KINDS = {"move", "settle", "meeting", "subsume", "collapse", "freeze",
+         "oscillation_duty", "sample"}
+EVENT_KEYS = {"cell", "seed", "event", "t", "agent", "node", "a", "b"}
+SAMPLE_KEYS = {"cell", "seed", "event", "t", "epochs", "settled", "moves"}
+
+def num(rec, key, lineno):
+    v = rec[key]
+    if v != "-" and not v.isdigit():
+        sys.exit(f"{path}:{lineno}: field {key!r} = {v!r} is neither a "
+                 f"number nor '-'")
+    return None if v == "-" else int(v)
+
+last_t = {}      # (cell, seed) -> last event time
+balance = {}     # (cell, seed) -> settles - collapses
+last_sample = {} # (cell, seed) -> last sampled settled count
+last_kind = {}   # (cell, seed) -> kind of the stream's final line
+counts = dict.fromkeys(KINDS, 0)
+
+with open(path) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+        kind = rec.get("event")
+        if kind not in KINDS:
+            sys.exit(f"{path}:{lineno}: unknown event kind {kind!r}")
+        counts[kind] += 1
+        want = SAMPLE_KEYS if kind == "sample" else EVENT_KEYS
+        if set(rec) != want:
+            sys.exit(f"{path}:{lineno}: {kind} line has keys "
+                     f"{sorted(rec)}, expected {sorted(want)}")
+        stream = (rec["cell"], rec["seed"])
+        last_kind[stream] = kind
+        t = num(rec, "t", lineno)
+        if t is None:
+            sys.exit(f"{path}:{lineno}: t must be numeric")
+        if t < last_t.get(stream, 0):
+            sys.exit(f"{path}:{lineno}: time went backwards within "
+                     f"{stream}: {last_t[stream]} -> {t}")
+        last_t[stream] = t
+        if kind == "sample":
+            for key in ("epochs", "settled", "moves"):
+                if num(rec, key, lineno) is None:
+                    sys.exit(f"{path}:{lineno}: {key} must be numeric")
+            last_sample[stream] = int(rec["settled"])
+            continue
+        for key in ("agent", "node", "a", "b"):
+            num(rec, key, lineno)
+        if kind == "settle":
+            balance[stream] = balance.get(stream, 0) + 1
+        elif kind == "collapse":
+            balance[stream] = balance.get(stream, 0) - 1
+            if balance[stream] < 0:
+                sys.exit(f"{path}:{lineno}: collapse before matching "
+                         f"settle in {stream}")
+
+if not last_t:
+    sys.exit(f"{path}: empty trace")
+if counts["settle"] == 0 or counts["move"] == 0:
+    sys.exit(f"{path}: no settle/move events — not a dispersion trace")
+for stream, settled in last_sample.items():
+    # Only cleanly-closed streams (ending on the engines' terminal sample)
+    # carry the invariant; a limit-hit replicate ends mid-events.
+    if last_kind.get(stream) != "sample":
+        continue
+    if stream in balance and settled != balance[stream]:
+        sys.exit(f"{path}: stream {stream}: final sampled settled count "
+                 f"{settled} != settle-collapse balance {balance[stream]}")
+
+summary = ", ".join(f"{k}={counts[k]}" for k in sorted(counts) if counts[k])
+print(f"OK {path}: {len(last_t)} streams, {summary}")
+EOF

@@ -360,6 +360,7 @@ Task RootedAsyncDispersion::leaderFiber(AgentIx self) {
     st_[amin].settledAt = s;
     st_[amin].parentPort = kNoPort;
     --groupSize_;
+    engine_.traceSettle(amin);
     recordMemory();
     if (groupSize_ == 0) {  // k == 1
       engine_.finish();
@@ -399,6 +400,7 @@ Task RootedAsyncDispersion::leaderFiber(AgentIx self) {
       st_[amin].settledAt = u;
       st_[amin].parentPort = engine_.pinOf(amin);
       --groupSize_;
+      engine_.traceSettle(amin);
       recordMemory();
       if (amin == self || groupSize_ == 0) {
         DISP_CHECK(amin == self, "leader must settle last");

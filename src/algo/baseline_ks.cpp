@@ -62,6 +62,7 @@ Task KsSyncDispersion::protocol() {
   group_.erase(group_.begin());
   st_[first].settled = true;
   st_[first].parentPort = kNoPort;
+  engine_.traceSettle(first);
   recordMemory();
 
   NodeId w = engine_.positionOf(first);
@@ -94,6 +95,7 @@ Task KsSyncDispersion::protocol() {
       group_.erase(group_.begin());
       st_[amin].settled = true;
       st_[amin].parentPort = engine_.pinOf(amin);
+      engine_.traceSettle(amin);
       recordMemory();
       w = v;
     }
@@ -190,6 +192,7 @@ Task KsAsyncDispersion::leaderFiber(AgentIx self) {
     st_[amin].settled = true;
     st_[amin].parentPort = kNoPort;
     --groupSize_;
+    engine_.traceSettle(amin);
     recordMemory();
     if (groupSize_ == 0) {  // k == 1
       engine_.finish();
@@ -240,6 +243,7 @@ Task KsAsyncDispersion::leaderFiber(AgentIx self) {
       // Leader is alone: settle itself, dispersion complete.
       st_[self].settled = true;
       st_[self].parentPort = engine_.pinOf(self);
+      engine_.traceSettle(self);
       recordMemory();
       engine_.finish();
       co_return;
@@ -248,6 +252,7 @@ Task KsAsyncDispersion::leaderFiber(AgentIx self) {
     st_[amin].settled = true;
     st_[amin].parentPort = engine_.pinOf(amin);
     --groupSize_;
+    engine_.traceSettle(amin);
     recordMemory();
   }
 }

@@ -157,6 +157,7 @@ void GeneralAsyncDispersion::settle(std::uint32_t gi, AgentIx a, NodeId at,
   s.checked = 0;
   s.firstChildPort = s.latestChildPort = s.nextSiblingPort = kNoPort;
   --groups_[gi].unsettled;
+  engine_.traceSettle(a, groups_[gi].label);
   recordMemory();
 }
 
@@ -651,6 +652,7 @@ Task GeneralAsyncDispersion::collapseVisit(std::uint32_t gi, Label loserLabel,
   ++ctx.unsettled;
   --groups_[loserLabel].total;
   --groups_[loserLabel].treeSize;
+  engine_.traceUnsettle(ls, loserLabel, ctx.label);
 }
 
 Task GeneralAsyncDispersion::marchToward(std::uint32_t gi, AgentIx anchor) {
@@ -747,6 +749,12 @@ Task GeneralAsyncDispersion::selfCollapseAndMarch(std::uint32_t gi,
 Task GeneralAsyncDispersion::absorbMarchers(std::uint32_t gi) {
   GroupCtx& ctx = groups_[gi];
   for (;;) {
+    // Junction locking (DESIGN.md §4.7): a frozen/dissolved group must not
+    // take marchers in — its winner's collapse walk collects only tree
+    // settlers, so members absorbed mid-freeze would be orphaned unsettled
+    // when this fiber parks.  The marchers re-resolve their target through
+    // the dissolution chain and reach the eventual winner instead.
+    if (ctx.frozen || ctx.dissolved) co_return;
     std::int64_t marcher = -1;
     for (std::uint32_t mi = 0; mi < groups_.size(); ++mi) {
       if (groups_[mi].marching && !groups_[mi].dissolved &&
@@ -759,11 +767,15 @@ Task GeneralAsyncDispersion::absorbMarchers(std::uint32_t gi) {
     ctx.phase = "absorbWait";
     const std::uint32_t mi = static_cast<std::uint32_t>(marcher);
     // Idle until the marcher's group fully reaches our leader, then take
-    // them in.
+    // them in — unless a winner freezes us first, or the marcher is
+    // rerouted meanwhile.
     for (std::uint64_t guard = 0; guard < kWaitGuard; ++guard) {
+      if (ctx.frozen || ctx.dissolved || groups_[mi].dissolved) break;
       if (groupConsolidatedAt(groups_[mi].label, engine_.positionOf(ctx.leader))) break;
       co_await engine_.nextActivation(ctx.leader);
     }
+    if (ctx.frozen || ctx.dissolved) co_return;
+    if (groups_[mi].dissolved) continue;  // absorbed elsewhere; rescan
     absorbGroup(gi, mi);
   }
 }
@@ -788,6 +800,8 @@ Task GeneralAsyncDispersion::handleMeeting(std::uint32_t gi, Label other,
     co_return;
   }
   ++stats_.meetings;
+  engine_.traceEvent(TraceEventKind::Meeting, ctx.leader,
+                     engine_.positionOf(ctx.leader), ctx.label, them.label);
 
   // |D2| < |D1| means D1 subsumes D2; ties favour the met tree (§4.2).
   // The peer checks and the freeze below share one activation — no
@@ -795,8 +809,15 @@ Task GeneralAsyncDispersion::handleMeeting(std::uint32_t gi, Label other,
   // other concurrently.
   const bool iWin = them.treeSize < ctx.treeSize;
   ++stats_.subsumptions;
+  engine_.traceEvent(TraceEventKind::Subsume,
+                     iWin ? ctx.leader : them.leader,
+                     engine_.positionOf(ctx.leader),
+                     iWin ? ctx.label : them.label,
+                     iWin ? them.label : ctx.label);
   if (iWin) {
     them.frozen = true;
+    engine_.traceEvent(TraceEventKind::Freeze, them.leader,
+                       engine_.positionOf(them.leader), them.label, ctx.label);
     ctx.phase = "awaitParked";
     co_await awaitParked(gi, target);
     ctx.phase = "collapseForeign";
@@ -807,6 +828,8 @@ Task GeneralAsyncDispersion::handleMeeting(std::uint32_t gi, Label other,
     }
   } else {
     ctx.frozen = true;  // others must not target us mid-self-collapse
+    engine_.traceEvent(TraceEventKind::Freeze, ctx.leader,
+                       engine_.positionOf(ctx.leader), ctx.label, them.label);
     ctx.phase = "selfCollapse";
     co_await selfCollapseAndMarch(gi, target, metPort);
   }

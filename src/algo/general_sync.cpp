@@ -112,6 +112,7 @@ void GeneralSyncDispersion::settle(std::uint32_t gi, AgentIx a, NodeId at,
   s.checked = 0;
   s.firstChildPort = s.latestChildPort = s.nextSiblingPort = kNoPort;
   --groups_[gi].unsettled;
+  engine_.traceSettle(a, groups_[gi].label);
   recordMemory();
 }
 
@@ -322,6 +323,7 @@ Task GeneralSyncDispersion::collapseVisit(std::uint32_t gi, Label loserLabel,
   ++ctx.unsettled;
   --groups_[loserLabel].total;
   --groups_[loserLabel].treeSize;
+  engine_.traceUnsettle(ls, loserLabel, ctx.label);
 }
 
 Task GeneralSyncDispersion::marchToward(std::uint32_t gi, AgentIx anchor) {
@@ -425,6 +427,14 @@ Task GeneralSyncDispersion::selfCollapseAndMarch(std::uint32_t gi,
 Task GeneralSyncDispersion::absorbMarchers(std::uint32_t gi) {
   GroupCtx& ctx = groups_[gi];
   for (;;) {
+    // Junction locking (DESIGN.md §4.7): a group that has been frozen or
+    // dissolved must not take marchers in.  Its winner's collapse walk
+    // collects only tree settlers, so members absorbed mid-freeze would be
+    // orphaned unsettled when this fiber parks — the seed-dependent
+    // grid/ℓ=8 round-cap divergence.  Bailing out is safe: the marchers'
+    // loop re-resolves their target through the dissolution chain and
+    // delivers them to the eventual winner instead.
+    if (ctx.frozen || ctx.dissolved) co_return;
     std::int64_t marcher = -1;
     for (std::uint32_t mi = 0; mi < groups_.size(); ++mi) {
       if (groups_[mi].marching && !groups_[mi].dissolved &&
@@ -436,10 +446,15 @@ Task GeneralSyncDispersion::absorbMarchers(std::uint32_t gi) {
     if (marcher < 0) co_return;
     ctx.phase = "absorbWait";
     auto& m = groups_[static_cast<std::uint32_t>(marcher)];
-    // Idle until the marcher's group reaches our leader, then take them in.
-    while (engine_.positionOf(m.leader) != engine_.positionOf(ctx.leader)) {
+    // Idle until the marcher's group reaches our leader, then take them in
+    // — unless a winner freezes us first (see above), or the marcher is
+    // rerouted meanwhile.
+    while (!ctx.frozen && !ctx.dissolved && !m.dissolved &&
+           engine_.positionOf(m.leader) != engine_.positionOf(ctx.leader)) {
       co_await engine_.nextRound();
     }
+    if (ctx.frozen || ctx.dissolved) co_return;
+    if (m.dissolved) continue;  // absorbed elsewhere; rescan
     std::uint32_t joined = 0;
     for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
       if (st_[a].label == m.label && !st_[a].settled) {
@@ -482,12 +497,21 @@ Task GeneralSyncDispersion::handleMeeting(std::uint32_t gi, Label other,
     co_return;
   }
   ++stats_.meetings;
+  engine_.traceEvent(TraceEventKind::Meeting, ctx.leader,
+                     engine_.positionOf(ctx.leader), ctx.label, them.label);
 
   // |D2| < |D1| means D1 subsumes D2; ties favour the met tree (§4.2).
   const bool iWin = them.treeSize < ctx.treeSize;
   ++stats_.subsumptions;
+  engine_.traceEvent(TraceEventKind::Subsume,
+                     iWin ? ctx.leader : them.leader,
+                     engine_.positionOf(ctx.leader),
+                     iWin ? ctx.label : them.label,
+                     iWin ? them.label : ctx.label);
   if (iWin) {
     them.frozen = true;
+    engine_.traceEvent(TraceEventKind::Freeze, them.leader,
+                       engine_.positionOf(them.leader), them.label, ctx.label);
     groups_[gi].phase = "awaitParked";
     co_await awaitParked(target);
     groups_[gi].phase = "collapseForeign";
@@ -498,6 +522,8 @@ Task GeneralSyncDispersion::handleMeeting(std::uint32_t gi, Label other,
     }
   } else {
     ctx.frozen = true;  // others must not target us mid-self-collapse
+    engine_.traceEvent(TraceEventKind::Freeze, ctx.leader,
+                       engine_.positionOf(ctx.leader), ctx.label, them.label);
     ctx.phase = "selfCollapse";
     co_await selfCollapseAndMarch(gi, target, metPort);
   }

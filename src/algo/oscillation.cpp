@@ -53,6 +53,10 @@ void OscillatorSystem::addChildStop(AgentIx agent, Port childPort) {
   DISP_CHECK(std::find(osc.stops.begin(), osc.stops.end(), childPort) == osc.stops.end(),
              "duplicate stop");
   osc.stops.push_back(childPort);
+  if (duty_[agent] == 0) {
+    engine_.traceEvent(TraceEventKind::OscillationDuty, agent, osc.home, 1,
+                       static_cast<std::uint32_t>(osc.stops.size()));
+  }
   duty_[agent] = 1;
 }
 
@@ -71,6 +75,10 @@ void OscillatorSystem::addSiblingStop(AgentIx agent, Port parentPort,
                  osc.stops.end(),
              "duplicate stop");
   osc.stops.push_back(siblingPortAtParent);
+  if (duty_[agent] == 0) {
+    engine_.traceEvent(TraceEventKind::OscillationDuty, agent, osc.home, 1,
+                       static_cast<std::uint32_t>(osc.stops.size()));
+  }
   duty_[agent] = 1;
 }
 
@@ -104,6 +112,10 @@ void OscillatorSystem::retire(AgentIx agent) {
   // order is part of the reproducible trace — then reindex the tail.
   oscs_.erase(oscs_.begin() + static_cast<std::ptrdiff_t>(ix));
   ixOf_[agent] = kNoAgent;
+  if (duty_[agent] != 0) {
+    engine_.traceEvent(TraceEventKind::OscillationDuty, agent,
+                       engine_.positionOf(agent), 0, 0);
+  }
   duty_[agent] = 0;
   for (AgentIx i = ix; i < oscs_.size(); ++i) ixOf_[oscs_[i].agent] = i;
 }
@@ -158,6 +170,10 @@ void OscillatorSystem::stageMoves() {
         if (!osc.plan.empty()) {
           osc.plan.clear();
           osc.planIx = 0;
+        }
+        if (duty_[osc.agent] != 0) {
+          engine_.traceEvent(TraceEventKind::OscillationDuty, osc.agent, osc.home,
+                             0, 0);
         }
         duty_[osc.agent] = 0;
         continue;

@@ -1,10 +1,8 @@
 #include "algo/runner.hpp"
 
-#include "algo/async_rooted.hpp"
-#include "algo/baseline_ks.hpp"
-#include "algo/general_async.hpp"
-#include "algo/general_sync.hpp"
-#include "algo/sync_rooted.hpp"
+#include <utility>
+
+#include "algo/registry.hpp"
 #include "core/async_engine.hpp"
 #include "core/scheduler.hpp"
 #include "core/sync_engine.hpp"
@@ -12,22 +10,19 @@
 
 namespace disp {
 
-std::string algorithmName(Algorithm a) {
-  switch (a) {
-    case Algorithm::RootedSync: return "RootedSyncDisp";
-    case Algorithm::RootedAsync: return "RootedAsyncDisp";
-    case Algorithm::GeneralSync: return "GeneralSync(doubling)";
-    case Algorithm::GeneralAsync: return "GeneralAsync(Thm8.2)";
-    case Algorithm::KsSync: return "KS-sync";
-    case Algorithm::KsAsync: return "KS-async";
-  }
-  return "?";
+const std::string& algorithmKey(Algorithm a) {
+  static const std::string keys[] = {"rooted_sync", "rooted_async", "general_sync",
+                                     "general_async", "ks_sync", "ks_async"};
+  const auto ix = static_cast<std::size_t>(a);
+  DISP_CHECK(ix < std::size(keys), "unknown algorithm");
+  return keys[ix];
 }
 
-bool isAsync(Algorithm a) {
-  return a == Algorithm::RootedAsync || a == Algorithm::GeneralAsync ||
-         a == Algorithm::KsAsync;
+const std::string& algorithmName(Algorithm a) {
+  return algorithmDef(algorithmKey(a)).traits.display;
 }
+
+bool isAsync(Algorithm a) { return algorithmDef(algorithmKey(a)).traits.isAsync; }
 
 namespace {
 
@@ -41,6 +36,7 @@ RunResult finishSync(SyncEngine& engine, bool dispersed) {
   r.totalMoves = engine.totalMoves();
   r.maxMemoryBits = engine.memory().maxBits();
   r.finalPositions = engine.positionsSnapshot();
+  r.stoppedEarly = engine.stopRequested();
   return r;
 }
 
@@ -52,77 +48,86 @@ RunResult finishAsync(AsyncEngine& engine, bool dispersed) {
   r.totalMoves = engine.totalMoves();
   r.maxMemoryBits = engine.memory().maxBits();
   r.finalPositions = engine.positionsSnapshot();
+  r.stoppedEarly = engine.stopRequested();
   return r;
+}
+
+/// Builds the engine-level observer from the session options; when the
+/// trajectory is captured, the sampled-step hook tees into `trajectory`
+/// before forwarding to the user's callback.
+EngineObserver buildObserver(const RunOptions& opts, bool async,
+                             std::vector<TrajectoryPoint>* trajectory) {
+  EngineObserver obs;
+  obs.sampleEvery = opts.sampleEvery;
+  obs.onEvent = opts.onEvent;
+  obs.stopWhen = opts.stopWhen;
+  const auto& userStep = async ? opts.onActivation : opts.onRound;
+  if (opts.captureTrajectory) {
+    obs.onStep = [trajectory, &userStep](const StepSnapshot& s) {
+      trajectory->push_back({s.time, s.settled, s.totalMoves});
+      if (userStep) userStep(s);
+    };
+  } else {
+    obs.onStep = userStep;
+  }
+  return obs;
 }
 
 }  // namespace
 
-RunResult runDispersion(const Graph& g, const Placement& placement,
-                        const RunSpec& spec) {
+RunResult runSession(const Graph& g, const Placement& placement,
+                     const RunOptions& opts) {
+  const AlgorithmDef& def = algorithmDef(opts.algorithm);
   const auto k = static_cast<std::uint32_t>(placement.positions.size());
   DISP_REQUIRE(k >= 1, "placement is empty");
-  const std::uint64_t syncLimit =
-      spec.limit ? spec.limit : 20000ULL * k + 40ULL * g.edgeCount() + 400000;
-  const std::uint64_t asyncLimit =
-      spec.limit ? spec.limit
-                 : 4000ULL * k * k + 800ULL * k * g.maxDegree() + 8000000ULL;
-
-  switch (spec.algorithm) {
-    case Algorithm::RootedSync: {
-      if (k < 7) {
-        SyncEngine engine(g, placement.positions, placement.ids);
-        KsSyncDispersion algo(engine);
-        algo.start();
-        engine.run(syncLimit);
-        return finishSync(engine, algo.dispersed());
-      }
-      SyncEngine engine(g, placement.positions, placement.ids);
-      RootedSyncDispersion algo(engine);
-      algo.start();
-      engine.run(syncLimit);
-      return finishSync(engine, algo.dispersed());
-    }
-    case Algorithm::GeneralSync: {
-      SyncEngine engine(g, placement.positions, placement.ids);
-      GeneralSyncDispersion algo(engine);
-      algo.start();
-      engine.run(syncLimit);
-      return finishSync(engine, algo.dispersed());
-    }
-    case Algorithm::KsSync: {
-      SyncEngine engine(g, placement.positions, placement.ids);
-      KsSyncDispersion algo(engine);
-      algo.start();
-      engine.run(syncLimit);
-      return finishSync(engine, algo.dispersed());
-    }
-    case Algorithm::GeneralAsync: {
-      AsyncEngine engine(g, placement.positions, placement.ids,
-                         makeSchedulerByName(spec.scheduler, k, spec.seed));
-      GeneralAsyncDispersion algo(engine);
-      algo.start();
-      engine.run(asyncLimit);
-      return finishAsync(engine, algo.dispersed());
-    }
-    case Algorithm::RootedAsync: {
-      AsyncEngine engine(g, placement.positions, placement.ids,
-                         makeSchedulerByName(spec.scheduler, k, spec.seed));
-      RootedAsyncDispersion algo(engine);
-      algo.start();
-      engine.run(asyncLimit);
-      return finishAsync(engine, algo.dispersed());
-    }
-    case Algorithm::KsAsync: {
-      AsyncEngine engine(g, placement.positions, placement.ids,
-                         makeSchedulerByName(spec.scheduler, k, spec.seed));
-      KsAsyncDispersion algo(engine);
-      algo.start();
-      engine.run(asyncLimit);
-      return finishAsync(engine, algo.dispersed());
+  DISP_REQUIRE(opts.sampleEvery >= 1, "sampleEvery must be >= 1");
+  if (def.traits.requiresRooted) {
+    for (const NodeId v : placement.positions) {
+      DISP_REQUIRE(v == placement.positions.front(),
+                   "algorithm '" + def.traits.key +
+                       "' requires a rooted placement (all agents on one node)");
     }
   }
-  DISP_CHECK(false, "unknown algorithm");
-  return {};
+
+  std::vector<TrajectoryPoint> trajectory;
+
+  if (!def.traits.isAsync) {
+    const std::uint64_t limit =
+        opts.limit ? opts.limit : 20000ULL * k + 40ULL * g.edgeCount() + 400000;
+    SyncEngine engine(g, placement.positions, placement.ids);
+    EngineObserver obs = buildObserver(opts, /*async=*/false, &trajectory);
+    if (obs.any()) engine.installObserver(std::move(obs));
+    const auto algo = def.makeSync(engine);
+    algo->start();
+    engine.run(limit);
+    RunResult r = finishSync(engine, algo->dispersed());
+    r.trajectory = std::move(trajectory);
+    return r;
+  }
+
+  const std::uint64_t limit =
+      opts.limit ? opts.limit
+                 : 4000ULL * k * k + 800ULL * k * g.maxDegree() + 8000000ULL;
+  AsyncEngine engine(g, placement.positions, placement.ids,
+                     makeSchedulerByName(opts.scheduler, k, opts.seed));
+  EngineObserver obs = buildObserver(opts, /*async=*/true, &trajectory);
+  if (obs.any()) engine.installObserver(std::move(obs));
+  const auto algo = def.makeAsync(engine);
+  algo->start();
+  engine.run(limit);
+  RunResult r = finishAsync(engine, algo->dispersed());
+  r.trajectory = std::move(trajectory);
+  return r;
+}
+
+RunResult runDispersion(const Graph& g, const Placement& placement,
+                        const RunSpec& spec) {
+  RunOptions opts;
+  opts.algorithm = algorithmKey(spec.algorithm);
+  opts.scheduler = spec.scheduler;
+  opts.seed = spec.seed;
+  opts.limit = spec.limit;
+  return runSession(g, placement, opts);
 }
 
 }  // namespace disp

@@ -120,6 +120,7 @@ void RootedSyncDispersion::settleAgent(AgentIx a, NodeId at) {
   st_[a].settled = true;
   st_[a].settledAt = at;
   ++settledCount_;
+  engine_.traceSettle(a);
 }
 
 AgentIx RootedSyncDispersion::chooseSettleCandidate(NodeId at) {
@@ -299,6 +300,7 @@ Task RootedSyncDispersion::trimLeaf(NodeId pw, Port portToLeaf, Port anchorPort)
   st_[aw].role = Role::Explorer;
   --settledCount_;
   ++stats_.trims;
+  engine_.traceUnsettle(aw);  // Backtrack_Move leaf trim collects the settler
 
   // Both return to pw: the collected ex-settler's pin still points to pw
   // (it has not moved since it settled).
@@ -588,7 +590,16 @@ Task RootedSyncDispersion::protocol() {
   // Ex-oscillators finish their final trip home and settle for good (≤ 6
   // rounds; their stop lists are empty so trips end at home).
   for (std::uint32_t i = 0; i <= kMaxCustodianWait; ++i) {
-    if (osc_.allIdleAtHome()) co_return;
+    if (osc_.allIdleAtHome()) {
+      // Retire the leftover oscillator bookkeeping: by now every stop was
+      // dropped, but a duty flag cleared only by the next round hook may
+      // never see one — retiring emits the closing OscillationDuty drop so
+      // the trace's duty churn balances.
+      for (AgentIx a = 0; a < k; ++a) {
+        if (osc_.isOscillating(a)) osc_.retire(a);
+      }
+      co_return;
+    }
     co_await engine_.nextRound();
   }
   DISP_CHECK(false, "an oscillator never returned home after dispersion");

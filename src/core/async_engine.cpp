@@ -25,8 +25,10 @@ void AsyncEngine::move(AgentIx a, Port p) {
   DISP_CHECK(a == current_, "only the activated agent may move");
   DISP_CHECK(!inSetup_, "no moves before the first activation (time starts at t=0)");
   DISP_CHECK(!movedThisActivation_, "an activation allows at most one move");
+  const NodeId from = world_.positionOf(a);
   world_.applyMove(a, p);
   movedThisActivation_ = true;
+  trace_.emit({TraceEventKind::Move, activations_, a, world_.positionOf(a), from, p});
 }
 
 void AsyncEngine::setAgentFiber(AgentIx a, Task task) {
@@ -90,9 +92,27 @@ void AsyncEngine::run(std::uint64_t maxActivations) {
         ++epochStamp_;
       }
     }
+    const auto fill = [this](std::vector<NodeId>& v) {
+      for (AgentIx b = 0; b < agentCount(); ++b) v[b] = positionOf(b);
+    };
+    if (trace_.sampleAtCadence(activations_, epochs_, totalMoves(), agentCount(),
+                               fill) &&
+        !finished_) {
+      // Early stop: remaining fibers stay suspended (destroyed with the
+      // engine); the session reports the partial facts with stoppedEarly.
+      // A stopWhen firing on the very activation the protocol finished is
+      // moot — the run completed.
+      trace_.requestStop();
+      break;
+    }
   }
   // A partially elapsed epoch still counts as time spent.
   if (activeCount_ > 0) ++epochs_;
+  // Close the series on the terminal state (off-cadence run end).
+  trace_.closeSeries(activations_, epochs_, totalMoves(), agentCount(),
+                     [this](std::vector<NodeId>& v) {
+                       for (AgentIx b = 0; b < agentCount(); ++b) v[b] = positionOf(b);
+                     });
 }
 
 std::vector<NodeId> AsyncEngine::positionsSnapshot() const {

@@ -20,6 +20,7 @@
 #include "core/fiber.hpp"
 #include "core/memory.hpp"
 #include "core/scheduler.hpp"
+#include "core/trace.hpp"
 #include "core/world.hpp"
 #include "graph/graph.hpp"
 
@@ -45,6 +46,33 @@ class AsyncEngine {
   [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
   [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
   [[nodiscard]] MemoryLedger& memory() noexcept { return memory_; }
+
+  // --- observability (core/trace.hpp) ---
+  /// Installs the observer; call before run().  Snapshots fire every
+  /// observer.sampleEvery completed activations.
+  void installObserver(EngineObserver observer) { trace_.install(std::move(observer)); }
+  /// True iff an onEvent hook is installed.
+  [[nodiscard]] bool tracing() const noexcept { return trace_.tracing(); }
+  /// True iff stopWhen truncated the run before the protocol finished.
+  [[nodiscard]] bool stopRequested() const noexcept { return trace_.stopRequested(); }
+  /// Settled-agent count per the protocol's traceSettle/traceUnsettle.
+  [[nodiscard]] std::uint32_t settledCount() const noexcept {
+    return trace_.settledCount();
+  }
+
+  /// Protocol-side trace taps (see SyncEngine for the shared contract);
+  /// events are stamped with the current activation index.
+  void traceSettle(AgentIx a, std::uint32_t label = kNoTraceLabel) {
+    trace_.settle(activations_, a, world_.positionOf(a), label);
+  }
+  void traceUnsettle(AgentIx a, std::uint32_t oldLabel = kNoTraceLabel,
+                     std::uint32_t byLabel = kNoTraceLabel) {
+    trace_.unsettle(activations_, a, world_.positionOf(a), oldLabel, byLabel);
+  }
+  void traceEvent(TraceEventKind kind, AgentIx agent, NodeId node, std::uint32_t a,
+                  std::uint32_t b) {
+    trace_.emit({kind, activations_, agent, node, a, b});
+  }
 
   // --- protocol-side API (only valid inside fibers) ---
   /// Awaitable: parks agent `a` until the scheduler activates it again.
@@ -91,6 +119,7 @@ class AsyncEngine {
   bool movedThisActivation_ = false;
   bool inSetup_ = false;
   bool finished_ = false;
+  TraceHost trace_;  ///< observability (inert without installObserver)
 };
 
 }  // namespace disp

@@ -10,6 +10,13 @@
 
 namespace disp {
 
+/// One captured trajectory sample (RunOptions::captureTrajectory).
+struct TrajectoryPoint {
+  std::uint64_t time = 0;     ///< rounds (SYNC) / activations (ASYNC)
+  std::uint32_t settled = 0;  ///< settled agents at this point
+  std::uint64_t totalMoves = 0;
+};
+
 /// Outcome of one simulated run.
 struct RunResult {
   bool dispersed = false;      ///< every agent settled on a distinct node
@@ -18,6 +25,12 @@ struct RunResult {
   std::uint64_t totalMoves = 0;   ///< edge traversals summed over agents
   std::uint64_t maxMemoryBits = 0;  ///< persistent-memory high-water mark
   std::vector<NodeId> finalPositions;  ///< per agent index
+  /// True iff RunOptions::stopWhen ended the run before the protocol
+  /// finished; the counters above describe the truncated run.
+  bool stoppedEarly = false;
+  /// Settled/moves time series at the sampling cadence (empty unless
+  /// RunOptions::captureTrajectory; always closes on the terminal state).
+  std::vector<TrajectoryPoint> trajectory;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -38,13 +38,26 @@ void SyncEngine::addFiber(Task task) {
 }
 
 void SyncEngine::commitRound() {
-  for (const auto& [a, p] : staged_) {
-    // Validated by stageMove against a position that cannot have changed
-    // since (moves only commit here), so skip revalidation.
-    world_.applyMoveStaged(a, p);
+  if (trace_.tracing()) {
+    for (const auto& [a, p] : staged_) {
+      const NodeId from = world_.positionOf(a);
+      world_.applyMoveStaged(a, p);
+      trace_.emit({TraceEventKind::Move, round_, a, world_.positionOf(a), from, p});
+    }
+  } else {
+    for (const auto& [a, p] : staged_) {
+      // Validated by stageMove against a position that cannot have changed
+      // since (moves only commit here), so skip revalidation.
+      world_.applyMoveStaged(a, p);
+    }
   }
   staged_.clear();
   ++round_;  // also retires every staging stamp for the round
+}
+
+void SyncEngine::installObserver(EngineObserver observer) {
+  DISP_CHECK(!running_, "installObserver() during run()");
+  trace_.install(std::move(observer));
 }
 
 void SyncEngine::run(std::uint64_t maxRounds) {
@@ -87,12 +100,30 @@ void SyncEngine::run(std::uint64_t maxRounds) {
     if (!anyAlive && staged_.empty()) break;
     for (const auto& hook : hooks_) hook();
     commitRound();
-    if (!anyAlive) break;  // final staged moves committed above
+    const auto fill = [this](std::vector<NodeId>& v) {
+      for (AgentIx a = 0; a < agentCount(); ++a) v[a] = positionOf(a);
+    };
+    const bool stop =
+        trace_.sampleAtCadence(round_, round_, totalMoves(), agentCount(), fill);
+    if (!anyAlive) break;  // run complete; a same-round stopWhen is moot
+    if (stop) {
+      // Early stop: fibers stay suspended (destroyed with the engine);
+      // facts so far remain valid and the session reports stoppedEarly.
+      trace_.requestStop();
+      break;
+    }
     if (round_ >= limit) {
       throw std::runtime_error("SyncEngine: round limit exceeded (deadlock or bug); round=" +
                                std::to_string(round_));
     }
   }
+  // Close the series on the terminal state: the run may end off-cadence,
+  // and the final fiber resumes (settles without staged moves) happen after
+  // the last commit.
+  trace_.closeSeries(round_, round_, totalMoves(), agentCount(),
+                     [this](std::vector<NodeId>& v) {
+                       for (AgentIx a = 0; a < agentCount(); ++a) v[a] = positionOf(a);
+                     });
 }
 
 std::vector<NodeId> SyncEngine::positionsSnapshot() const {

@@ -17,6 +17,7 @@
 
 #include "core/fiber.hpp"
 #include "core/memory.hpp"
+#include "core/trace.hpp"
 #include "core/world.hpp"
 #include "graph/graph.hpp"
 
@@ -41,6 +42,37 @@ class SyncEngine {
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] std::uint64_t totalMoves() const noexcept { return world_.totalMoves(); }
   [[nodiscard]] MemoryLedger& memory() noexcept { return memory_; }
+
+  // --- observability (core/trace.hpp) ---
+  /// Installs the observer; call before run().  Snapshots fire every
+  /// observer.sampleEvery committed rounds.
+  void installObserver(EngineObserver observer);
+  /// True iff an onEvent hook is installed — protocols may use this to
+  /// skip building event payloads on the zero-observer path.
+  [[nodiscard]] bool tracing() const noexcept { return trace_.tracing(); }
+  /// True iff stopWhen truncated the run before the protocol finished.
+  [[nodiscard]] bool stopRequested() const noexcept { return trace_.stopRequested(); }
+  /// Settled-agent count per the protocol's traceSettle/traceUnsettle
+  /// calls (maintained with or without an observer).
+  [[nodiscard]] std::uint32_t settledCount() const noexcept {
+    return trace_.settledCount();
+  }
+
+  /// Protocol-side trace taps.  traceSettle/traceUnsettle also maintain
+  /// the settled count surfaced in snapshots; traceEvent is for the
+  /// remaining kinds (Meeting/Subsume/Freeze/OscillationDuty).  All of
+  /// them stamp the event with the current round.
+  void traceSettle(AgentIx a, std::uint32_t label = kNoTraceLabel) {
+    trace_.settle(round_, a, world_.positionOf(a), label);
+  }
+  void traceUnsettle(AgentIx a, std::uint32_t oldLabel = kNoTraceLabel,
+                     std::uint32_t byLabel = kNoTraceLabel) {
+    trace_.unsettle(round_, a, world_.positionOf(a), oldLabel, byLabel);
+  }
+  void traceEvent(TraceEventKind kind, AgentIx agent, NodeId node, std::uint32_t a,
+                  std::uint32_t b) {
+    trace_.emit({kind, round_, agent, node, a, b});
+  }
 
   // --- staging (fibers and hooks) ---
   /// Stages a move for this round; at most one per agent per round.
@@ -82,6 +114,7 @@ class SyncEngine {
   std::vector<std::function<void()>> hooks_;
   ResumeSlot* currentSlot_ = nullptr;
   bool running_ = false;  ///< guards addFiber() against mid-run additions
+  TraceHost trace_;       ///< observability (inert without installObserver)
 };
 
 /// Convenience subtask: let `n` rounds pass.

@@ -1,0 +1,18 @@
+#include "core/trace.hpp"
+
+namespace disp {
+
+const char* traceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Move: return "move";
+    case TraceEventKind::Settle: return "settle";
+    case TraceEventKind::Meeting: return "meeting";
+    case TraceEventKind::Subsume: return "subsume";
+    case TraceEventKind::Collapse: return "collapse";
+    case TraceEventKind::Freeze: return "freeze";
+    case TraceEventKind::OscillationDuty: return "oscillation_duty";
+  }
+  return "?";
+}
+
+}  // namespace disp

@@ -108,6 +108,11 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
     c.nOverK = spec.nOverK;
     c.labeling = spec.labeling;
     c.limit = spec.limit;
+    if (options_.observe) {
+      c.observe = [this, &key, seed = c.seed](RunOptions& opts) {
+        options_.observe(key, seed, opts);
+      };
+    }
     const auto n = static_cast<std::uint32_t>(double(key.k) * spec.nOverK);
     const Graph& g = graphs.at({key.family, n, c.seed});
     RunRecord& slot = result.cells[cellIx].replicates[repIx];

@@ -24,6 +24,13 @@ struct BatchOptions {
   /// needs no locking of its own.  Large-k sweeps use this to stream rows
   /// to JSONL so a killed run keeps its completed cells.
   std::function<void(const Cell&)> onCellDone;
+  /// Observer plumbing: when set, invoked for every (cell, replicate)
+  /// right before its run to install trace/snapshot hooks on the run's
+  /// RunOptions.  Called concurrently from worker threads — both the hook
+  /// and the observers it installs must be thread-safe (disp_bench's
+  /// --trace sink serializes writes under its own mutex).  Observers never
+  /// change run facts (DESIGN.md §7), so thread-count invariance holds.
+  std::function<void(const CellKey&, std::uint64_t seed, RunOptions&)> observe;
 };
 
 /// Runs fn(0) .. fn(jobs-1), work-stealing over `threads` workers

@@ -40,6 +40,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchAblationScheduler},
       {"wallclock", "E14: simulator wall-clock per run (telemetry)",
        &benchWallclock},
+      {"trace_smoke", "E16: tiny observed cells (drives --trace / check_trace.sh)",
+       &benchTraceSmoke},
   };
   return kRegistry;
 }
@@ -83,6 +85,55 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
   ctx.batch.threads = static_cast<unsigned>(threads);
   ctx.seedOverride = cli.u64list("seeds");
 
+  // Trace sink: every replicate of every selected sweep streams its typed
+  // events + sampled snapshots as JSON lines (schema in exp/sink.hpp).
+  std::unique_ptr<std::ofstream> traceFile;
+  std::unique_ptr<TraceJsonl> trace;
+  const std::string tracePath = cli.str("trace", "");
+  const std::int64_t sample = cli.integer("sample", 1);
+  if (sample < 1) {
+    std::cerr << "error: --sample must be >= 1 (snapshot cadence)\n";
+    return 2;
+  }
+  if (!tracePath.empty()) {
+    traceFile = std::make_unique<std::ofstream>(tracePath);
+    if (!*traceFile) {
+      std::cerr << "error: cannot open --trace file: " << tracePath << "\n";
+      return 2;
+    }
+    trace = std::make_unique<TraceJsonl>(*traceFile,
+                                         static_cast<std::uint64_t>(sample));
+    ctx.batch.observe = [tracer = trace.get()](const CellKey& key,
+                                               std::uint64_t seed,
+                                               RunOptions& opts) {
+      tracer->observe(key, seed, opts);
+    };
+  }
+
+  // Trajectory CSV sink (exclusive with --trace: both claim the snapshot
+  // hooks; the trace stream already carries the sample rows).
+  std::unique_ptr<std::ofstream> trajFile;
+  std::unique_ptr<TrajectoryCsv> traj;
+  const std::string trajPath = cli.str("trajectory", "");
+  if (!trajPath.empty()) {
+    if (!tracePath.empty()) {
+      std::cerr << "error: --trajectory and --trace are mutually exclusive "
+                   "(--trace already streams sample rows)\n";
+      return 2;
+    }
+    trajFile = std::make_unique<std::ofstream>(trajPath);
+    if (!*trajFile) {
+      std::cerr << "error: cannot open --trajectory file: " << trajPath << "\n";
+      return 2;
+    }
+    traj = std::make_unique<TrajectoryCsv>(*trajFile,
+                                           static_cast<std::uint64_t>(sample));
+    ctx.batch.observe = [sink = traj.get()](const CellKey& key, std::uint64_t seed,
+                                            RunOptions& opts) {
+      sink->observe(key, seed, opts);
+    };
+  }
+
   for (const std::string& name : names) {
     try {
       findBench(name)->fn(ctx);
@@ -95,6 +146,20 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
     jsonlFile->flush();
     if (!*jsonlFile) {
       std::cerr << "error: writing --jsonl file failed: " << jsonlPath << "\n";
+      return 1;
+    }
+  }
+  if (traceFile) {
+    traceFile->flush();
+    if (!*traceFile) {
+      std::cerr << "error: writing --trace file failed: " << tracePath << "\n";
+      return 1;
+    }
+  }
+  if (trajFile) {
+    trajFile->flush();
+    if (!*trajFile) {
+      std::cerr << "error: writing --trajectory file failed: " << trajPath << "\n";
       return 1;
     }
   }

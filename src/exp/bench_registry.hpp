@@ -11,8 +11,16 @@
 // Common flags (parsed by benchMain / runBenches):
 //   --threads=N      worker threads (0 = hardware concurrency, the default)
 //   --seeds=a,b,c    replicate seeds overriding each suite's single
-//                    historical seed; time cells become per-cell means
+//                    historical seed; time cells become per-cell means and
+//                    tables gain per-cell "±95" CI columns
 //   --jsonl=PATH     mirror every table row / fit line as JSON-lines
+//   --trace=PATH     stream every run's typed trace events + sampled
+//                    snapshots as JSON-lines (schema in exp/sink.hpp,
+//                    validated by scripts/check_trace.sh)
+//   --trajectory=PATH  plotting-friendly settled/moves CSV time series
+//                    (one row per sampled snapshot; exclusive with --trace)
+//   --sample=N       snapshot cadence for --trace/--trajectory (default 1
+//                    = every round/activation)
 
 #include <string>
 #include <vector>

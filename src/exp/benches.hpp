@@ -32,4 +32,8 @@ void benchAblationTechniques(BenchContext& ctx);  // E12
 void benchAblationScheduler(BenchContext& ctx);   // E13
 void benchWallclock(BenchContext& ctx);           // E14
 
+// Tiny observed cells exercising the trace/observer API end to end; the
+// CI trace-smoke gate runs it under --trace (benches_misc.cpp).
+void benchTraceSmoke(BenchContext& ctx);          // E16
+
 }  // namespace disp::exp

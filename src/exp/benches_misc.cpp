@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "algo/placement.hpp"
+#include "algo/registry.hpp"
 #include "core/scheduler.hpp"
 #include "exp/benches.hpp"
 #include "graph/generators.hpp"
@@ -21,8 +22,8 @@ void benchLowerBoundLine(BenchContext& ctx) {
   spec.name = name;
   spec.families = {"path"};
   spec.ks = kSweep(5, 9);
-  spec.algorithms = {Algorithm::RootedSync, Algorithm::GeneralSync,
-                     Algorithm::KsSync, Algorithm::RootedAsync};
+  spec.algorithms = {"rooted_sync", "general_sync",
+                     "ks_sync", "rooted_async"};
   spec.seeds = ctx.seedsOr(3);
   spec.nOverK = 1.5;
   const SweepResult res = ctx.runner().run(spec);
@@ -30,7 +31,7 @@ void benchLowerBoundLine(BenchContext& ctx) {
   Table t({"k", "RootedSync/k", "Sudo-style/k", "KS/k", "RootedAsync(ep)/k"});
   for (const std::uint32_t k : spec.ks) {
     t.row().cell(std::uint64_t{k});
-    for (const Algorithm algo : spec.algorithms) {
+    for (const std::string& algo : spec.algorithms) {
       const Cell& c = res.at({"path", k, 1, "round_robin", algo});
       t.cell(c.meanTime() / k, 2);
     }
@@ -51,8 +52,8 @@ void benchAblationTechniques(BenchContext& ctx) {
   spec.name = name;
   spec.families = {"complete"};
   spec.ks = kSweep(5, 9);
-  spec.algorithms = {Algorithm::KsSync, Algorithm::GeneralSync,
-                     Algorithm::RootedSync};
+  spec.algorithms = {"ks_sync", "general_sync",
+                     "rooted_sync"};
   spec.seeds = ctx.seedsOr(5);
   spec.nOverK = 1.0;
   const SweepResult res = ctx.runner().run(spec);
@@ -60,9 +61,9 @@ void benchAblationTechniques(BenchContext& ctx) {
   Table t({"k", "KS(level0)", "doubling(level1)", "full(level2)",
            "lvl0/lvl2", "lvl1/lvl2"});
   for (const std::uint32_t k : spec.ks) {
-    const Cell& l0 = res.at({"complete", k, 1, "round_robin", Algorithm::KsSync});
-    const Cell& l1 = res.at({"complete", k, 1, "round_robin", Algorithm::GeneralSync});
-    const Cell& l2 = res.at({"complete", k, 1, "round_robin", Algorithm::RootedSync});
+    const Cell& l0 = res.at({"complete", k, 1, "round_robin", "ks_sync"});
+    const Cell& l1 = res.at({"complete", k, 1, "round_robin", "general_sync"});
+    const Cell& l2 = res.at({"complete", k, 1, "round_robin", "rooted_sync"});
     t.row().cell(std::uint64_t{k});
     timeCell(t, l0);
     timeCell(t, l1);
@@ -84,13 +85,17 @@ void benchAblationScheduler(BenchContext& ctx) {
   spec.name = name;
   spec.families = {"er"};
   spec.ks = {k};
-  spec.algorithms = {Algorithm::RootedAsync, Algorithm::KsAsync};
+  spec.algorithms = {"rooted_async", "ks_async"};
   spec.schedulers = knownSchedulers();
   spec.seeds = ctx.seedsOr(23);
   const SweepResult res = ctx.runner().run(spec);
 
-  Table t({"algo", "sched", "k", "epochs", "activations", "act/epoch"});
-  for (const Algorithm algo : spec.algorithms) {
+  const bool ci = spec.seeds.size() > 1;
+  std::vector<std::string> hdr{"algo", "sched", "k"};
+  timeHeader(hdr, "epochs", ci);
+  hdr.insert(hdr.end(), {"activations", "act/epoch"});
+  Table t(hdr);
+  for (const std::string& algo : spec.algorithms) {
     for (const std::string& sched : spec.schedulers) {
       const Cell& r = res.at({"er", k, 1, sched, algo});
       if (!r.allDispersed()) continue;
@@ -99,8 +104,8 @@ void benchAblationScheduler(BenchContext& ctx) {
         activations += double(rec.run.activations);
       }
       activations /= double(r.replicates.size());
-      t.row().cell(algorithmName(algo)).cell(sched).cell(std::uint64_t{k});
-      timeCell(t, r);
+      t.row().cell(algorithmDisplayName(algo)).cell(sched).cell(std::uint64_t{k});
+      timeCellCi(t, r, ci);
       if (r.replicates.size() == 1) {
         t.cell(r.first().run.activations);
       } else {
@@ -122,22 +127,22 @@ void benchWallclock(BenchContext& ctx) {
   const std::string name = "wallclock";
   ctx.out << "# E14: wall-clock — simulator throughput (telemetry, not a claim)\n";
   struct Config {
-    Algorithm algo;
+    const char* algo;
     const char* sched;
     std::uint32_t k;
     std::uint32_t clusters;
   };
   const std::vector<Config> configs{
-      {Algorithm::RootedSync, "round_robin", 64, 1},
-      {Algorithm::RootedSync, "round_robin", 128, 1},
-      {Algorithm::RootedSync, "round_robin", 256, 1},
-      {Algorithm::RootedAsync, "uniform", 64, 1},
-      {Algorithm::RootedAsync, "uniform", 128, 1},
-      {Algorithm::KsSync, "round_robin", 64, 1},
-      {Algorithm::KsSync, "round_robin", 128, 1},
-      {Algorithm::KsSync, "round_robin", 256, 1},
-      {Algorithm::GeneralSync, "round_robin", 64, 4},
-      {Algorithm::GeneralSync, "round_robin", 128, 4},
+      {"rooted_sync", "round_robin", 64, 1},
+      {"rooted_sync", "round_robin", 128, 1},
+      {"rooted_sync", "round_robin", 256, 1},
+      {"rooted_async", "uniform", 64, 1},
+      {"rooted_async", "uniform", 128, 1},
+      {"ks_sync", "round_robin", 64, 1},
+      {"ks_sync", "round_robin", 128, 1},
+      {"ks_sync", "round_robin", 256, 1},
+      {"general_sync", "round_robin", 64, 4},
+      {"general_sync", "round_robin", 128, 4},
   };
   Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run", "Mact/s",
            "Mmoves/s"});
@@ -152,7 +157,11 @@ void benchWallclock(BenchContext& ctx) {
       const Placement p =
           cfg.clusters == 1 ? rootedPlacement(g, cfg.k, 0, 3)
                             : clusteredPlacement(g, cfg.k, cfg.clusters, 3);
-      const RunResult r = runDispersion(g, p, {cfg.algo, cfg.sched, 5});
+      RunOptions opts;
+      opts.algorithm = cfg.algo;
+      opts.scheduler = cfg.sched;
+      opts.seed = 5;
+      const RunResult r = runSession(g, p, opts);
       DISP_CHECK(r.dispersed, "wallclock config failed to disperse");
       ++runs;
       activations += r.activations;
@@ -165,7 +174,7 @@ void benchWallclock(BenchContext& ctx) {
     // k per round by definition) and edge traversals applied.
     const double seconds = elapsedMs / 1000.0;
     t.row()
-        .cell(algorithmName(cfg.algo))
+        .cell(algorithmDisplayName(cfg.algo))
         .cell(cfg.sched)
         .cell(std::uint64_t{cfg.k})
         .cell(std::uint64_t{cfg.clusters})
@@ -176,6 +185,61 @@ void benchWallclock(BenchContext& ctx) {
         .cell(double(moves) / seconds / 1e6, 2);
   }
   emitTable(ctx, name, "simulator wall-clock per dispersion run", t);
+}
+
+// E16 — trace smoke: tiny cells covering both engines, the rooted and the
+// general (subsumption-heavy) protocols, so a `--trace` run of this suite
+// exercises every TraceEvent kind the library emits.  The CI gate pipes
+// the resulting JSONL through scripts/check_trace.sh.
+void benchTraceSmoke(BenchContext& ctx) {
+  const std::string name = "trace_smoke";
+  ctx.out << "# E16: trace smoke — tiny observed cells (for --trace)\n";
+  const bool ci = ctx.seedOverride.size() > 1;
+  std::vector<std::string> hdr{"algo", "family", "k", "l", "sched"};
+  timeHeader(hdr, "time", ci);
+  hdr.emplace_back("dispersed");
+  Table t(hdr);
+
+  const auto addRows = [&](const SweepSpec& spec, const SweepResult& res) {
+    for (const std::string& algo : spec.algorithms) {
+      for (const std::string& sched : spec.schedulers) {
+        const Cell& c = res.at(
+            {spec.families.front(), spec.ks.front(), spec.clusterCounts.front(),
+             sched, algo});
+        t.row()
+            .cell(algorithmDisplayName(algo))
+            .cell(spec.families.front())
+            .cell(std::uint64_t{spec.ks.front()})
+            .cell(std::uint64_t{spec.clusterCounts.front()})
+            .cell(sched);
+        timeCellCi(t, c, ci);
+        t.cell(std::string(c.allDispersed() ? "yes" : "NO"));
+      }
+    }
+  };
+
+  SweepSpec rooted;
+  rooted.name = name;
+  rooted.families = {"er"};
+  rooted.ks = {16};
+  rooted.algorithms = {"rooted_sync", "rooted_async", "ks_sync", "ks_async"};
+  rooted.seeds = ctx.seedsOr(5);
+  const SweepResult rootedRes = ctx.runner().run(rooted);
+  addRows(rooted, rootedRes);
+
+  // ℓ = 4 clusters: meetings, freezes, subsumption collapses show up in
+  // the trace for both general protocols.
+  SweepSpec general;
+  general.name = name;
+  general.families = {"grid"};
+  general.ks = {16};
+  general.algorithms = {"general_sync", "general_async"};
+  general.clusterCounts = {4};
+  general.seeds = ctx.seedsOr(5);
+  const SweepResult generalRes = ctx.runner().run(general);
+  addRows(general, generalRes);
+
+  emitTable(ctx, name, "trace smoke cells", t);
 }
 
 }  // namespace disp::exp

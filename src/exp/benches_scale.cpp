@@ -22,7 +22,7 @@ void benchTable1Scale(BenchContext& ctx) {
     spec.families = {family};
     spec.ks = {1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
     spec.scale = scale();  // ks are literal, so fold DISP_BENCH_SCALE here
-    spec.algorithms = {Algorithm::RootedSync};
+    spec.algorithms = {"rooted_sync"};
     spec.seeds = ctx.seedsOr(3);
 
     BatchRunner runner = ctx.runner();
@@ -46,16 +46,20 @@ void benchTable1Scale(BenchContext& ctx) {
     }
     const SweepResult res = runner.run(spec);
 
-    Table t({"k", "n", "m", "Delta", "rounds", "rounds/k", "moves", "dispersed"});
+    const bool ci = spec.seeds.size() > 1;
+    std::vector<std::string> hdr{"k", "n", "m", "Delta"};
+    timeHeader(hdr, "rounds", ci);
+    hdr.insert(hdr.end(), {"rounds/k", "moves", "dispersed"});
+    Table t(hdr);
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.scaledKs()) {
-      const Cell& c = res.at({family, k, 1, "round_robin", Algorithm::RootedSync});
+      const Cell& c = res.at({family, k, 1, "round_robin", "rooted_sync"});
       t.row()
           .cell(std::uint64_t{k})
           .cell(std::uint64_t{c.first().n})
           .cell(c.first().edges)
           .cell(std::uint64_t{c.first().maxDegree});
-      timeCell(t, c);
+      timeCellCi(t, c, ci);
       t.cell(c.meanTime() / k, 2)
           .cell(c.first().run.totalMoves)
           .cell(std::string(c.allDispersed() ? "yes" : "NO"));

@@ -3,6 +3,7 @@
 // binaries; with --seeds replicates, time cells become per-cell means.
 #include <cmath>
 
+#include "algo/registry.hpp"
 #include "exp/benches.hpp"
 
 namespace disp::exp {
@@ -23,19 +24,24 @@ void benchTable1SyncRooted(BenchContext& ctx) {
     spec.families = {family};
     // complete graphs need n=k to stress KS; other families use n=2k.
     spec.ks = kSweep(5, family == "complete" ? 8 : 9);
-    spec.algorithms = {Algorithm::RootedSync, Algorithm::GeneralSync,
-                       Algorithm::KsSync};
+    spec.algorithms = {"rooted_sync", "general_sync",
+                       "ks_sync"};
     spec.seeds = ctx.seedsOr(3);
     spec.nOverK = family == "complete" ? 1.0 : 2.0;
     const SweepResult res = ctx.runner().run(spec);
 
-    Table t({"k", "n", "m", "Delta", "RootedSync(ours)", "Sudo-style", "KS-baseline",
-             "ours/k", "sudo/(k log k)"});
+    const bool ci = spec.seeds.size() > 1;
+    std::vector<std::string> hdr{"k", "n", "m", "Delta"};
+    timeHeader(hdr, "RootedSync(ours)", ci);
+    timeHeader(hdr, "Sudo-style", ci);
+    timeHeader(hdr, "KS-baseline", ci);
+    hdr.insert(hdr.end(), {"ours/k", "sudo/(k log k)"});
+    Table t(hdr);
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.ks) {
-      const Cell& a = res.at({family, k, 1, "round_robin", Algorithm::RootedSync});
-      const Cell& b = res.at({family, k, 1, "round_robin", Algorithm::GeneralSync});
-      const Cell& c = res.at({family, k, 1, "round_robin", Algorithm::KsSync});
+      const Cell& a = res.at({family, k, 1, "round_robin", "rooted_sync"});
+      const Cell& b = res.at({family, k, 1, "round_robin", "general_sync"});
+      const Cell& c = res.at({family, k, 1, "round_robin", "ks_sync"});
       if (!a.allDispersed() || !b.allDispersed() || !c.allDispersed()) {
         ctx.out << "!! undispersed case " << family << " k=" << k << "\n";
         continue;
@@ -46,9 +52,9 @@ void benchTable1SyncRooted(BenchContext& ctx) {
           .cell(std::uint64_t{a.first().n})
           .cell(a.first().edges)
           .cell(std::uint64_t{a.first().maxDegree});
-      timeCell(t, a);
-      timeCell(t, b);
-      timeCell(t, c);
+      timeCellCi(t, a, ci);
+      timeCellCi(t, b, ci);
+      timeCellCi(t, c, ci);
       t.cell(a.meanTime() / k, 1).cell(b.meanTime() / (k * lg), 2);
       ks.push_back(k);
       ours.push_back(a.meanTime());
@@ -72,19 +78,23 @@ void benchTable1AsyncRooted(BenchContext& ctx) {
     spec.name = name;
     spec.families = {family};
     spec.ks = kSweep(5, 8);
-    spec.algorithms = {Algorithm::RootedAsync, Algorithm::KsAsync};
+    spec.algorithms = {"rooted_async", "ks_async"};
     spec.schedulers = {"round_robin", "uniform"};
     spec.seeds = ctx.seedsOr(5);
     spec.nOverK = family == "complete" ? 1.0 : 2.0;
     const SweepResult res = ctx.runner().run(spec);
 
-    Table t({"k", "Delta", "sched", "RootedAsync(ours)", "KS-async",
-             "ours/(k log k)", "ks/min(m,kDelta)"});
+    const bool ci = spec.seeds.size() > 1;
+    std::vector<std::string> hdr{"k", "Delta", "sched"};
+    timeHeader(hdr, "RootedAsync(ours)", ci);
+    timeHeader(hdr, "KS-async", ci);
+    hdr.insert(hdr.end(), {"ours/(k log k)", "ks/min(m,kDelta)"});
+    Table t(hdr);
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.ks) {
       for (const std::string& sched : spec.schedulers) {
-        const Cell& a = res.at({family, k, 1, sched, Algorithm::RootedAsync});
-        const Cell& b = res.at({family, k, 1, sched, Algorithm::KsAsync});
+        const Cell& a = res.at({family, k, 1, sched, "rooted_async"});
+        const Cell& b = res.at({family, k, 1, sched, "ks_async"});
         if (!a.allDispersed() || !b.allDispersed()) continue;
         const double lg = std::log2(double(k));
         const double ksBound =
@@ -94,8 +104,8 @@ void benchTable1AsyncRooted(BenchContext& ctx) {
             .cell(std::uint64_t{k})
             .cell(std::uint64_t{a.first().maxDegree})
             .cell(sched);
-        timeCell(t, a);
-        timeCell(t, b);
+        timeCellCi(t, a, ci);
+        timeCellCi(t, b, ci);
         t.cell(a.meanTime() / (k * lg), 2).cell(b.meanTime() / ksBound, 2);
         if (sched == "round_robin") {
           ks.push_back(k);
@@ -124,19 +134,23 @@ void benchTable1SyncGeneral(BenchContext& ctx) {
   spec.name = name;
   spec.families = {"er", "grid", "randtree"};
   spec.ks = kSweep(5, 8);
-  spec.algorithms = {Algorithm::GeneralSync};
+  spec.algorithms = {"general_sync"};
   spec.clusterCounts = {2, 4, 8};
   spec.seeds = ctx.seedsOr(7);
   const SweepResult res = ctx.runner().run(spec);
 
-  Table t({"family", "k", "l", "rounds", "rounds/(k log k)", "dispersed"});
+  const bool ci = spec.seeds.size() > 1;
+  std::vector<std::string> hdr{"family", "k", "l"};
+  timeHeader(hdr, "rounds", ci);
+  hdr.insert(hdr.end(), {"rounds/(k log k)", "dispersed"});
+  Table t(hdr);
   for (const std::string& family : spec.families) {
     for (const std::uint32_t k : spec.ks) {
       for (const std::uint32_t l : spec.clusterCounts) {
-        const Cell& r = res.at({family, k, l, "round_robin", Algorithm::GeneralSync});
+        const Cell& r = res.at({family, k, l, "round_robin", "general_sync"});
         const double lg = std::log2(double(k));
         t.row().cell(family).cell(std::uint64_t{k}).cell(std::uint64_t{l});
-        timeCell(t, r);
+        timeCellCi(t, r, ci);
         t.cell(r.meanTime() / (k * lg), 2)
             .cell(std::string(r.allDispersed() ? "yes" : "NO"));
       }
@@ -160,19 +174,23 @@ void benchTable1AsyncGeneral(BenchContext& ctx) {
   spec.name = name;
   spec.families = {"er", "grid"};
   spec.ks = kSweep(5, 8);
-  spec.algorithms = {Algorithm::GeneralAsync};
+  spec.algorithms = {"general_async"};
   spec.clusterCounts = {1, 4, 16};
   spec.schedulers = {"round_robin", "uniform", "weighted"};
   spec.seeds = ctx.seedsOr(9);
   const SweepResult res = ctx.runner().run(spec);
 
-  Table t({"family", "k", "l", "sched", "epochs", "epochs/(k log k)"});
+  const bool ci = spec.seeds.size() > 1;
+  std::vector<std::string> hdr{"family", "k", "l", "sched"};
+  timeHeader(hdr, "epochs", ci);
+  hdr.emplace_back("epochs/(k log k)");
+  Table t(hdr);
   std::vector<double> ks, es;
   for (const std::string& family : spec.families) {
     for (const std::uint32_t k : spec.ks) {
       for (const std::uint32_t l : spec.clusterCounts) {
         for (const std::string& sched : spec.schedulers) {
-          const Cell& r = res.at({family, k, l, sched, Algorithm::GeneralAsync});
+          const Cell& r = res.at({family, k, l, sched, "general_async"});
           if (!r.allDispersed()) continue;
           const double lg = std::log2(double(k));
           t.row()
@@ -180,7 +198,7 @@ void benchTable1AsyncGeneral(BenchContext& ctx) {
               .cell(std::uint64_t{k})
               .cell(std::uint64_t{l})
               .cell(sched);
-          timeCell(t, r);
+          timeCellCi(t, r, ci);
           t.cell(r.meanTime() / (k * lg), 2);
           if (family == "er" && l == 4 && sched == "round_robin") {
             ks.push_back(k);
@@ -206,13 +224,12 @@ void benchTable1Memory(BenchContext& ctx) {
   const std::string name = "table1_memory";
   ctx.out << "# E5: Table 1 — memory (max persistent bits/agent)\n";
   Table t({"algo", "family", "k", "Delta", "bits", "log2(k+Delta)", "bits/log"});
-  for (const Algorithm algo : {Algorithm::RootedSync, Algorithm::RootedAsync,
-                               Algorithm::GeneralSync, Algorithm::GeneralAsync,
-                               Algorithm::KsSync, Algorithm::KsAsync}) {
+  for (const std::string algo : {"rooted_sync", "rooted_async", "general_sync",
+                                 "general_async", "ks_sync", "ks_async"}) {
     // GeneralAsync runs from a genuine general configuration (ℓ = 4); the
     // others keep their Table 1 placements (GeneralSync's ℓ = 1 is the
     // Sudo-style baseline row).
-    const std::uint32_t clusters = algo == Algorithm::GeneralAsync ? 4 : 1;
+    const std::uint32_t clusters = algo == "general_async" ? 4 : 1;
     SweepSpec spec;
     spec.name = name;
     spec.families = {"er", "star"};
@@ -228,7 +245,7 @@ void benchTable1Memory(BenchContext& ctx) {
         if (!r.allDispersed()) continue;
         const double lg = std::log2(double(k) + double(r.first().maxDegree));
         t.row()
-            .cell(algorithmName(algo))
+            .cell(algorithmDisplayName(algo))
             .cell(family)
             .cell(std::uint64_t{k})
             .cell(std::uint64_t{r.first().maxDegree})

@@ -78,4 +78,68 @@ void timeCell(Table& t, const Cell& c) {
   }
 }
 
+void timeHeader(std::vector<std::string>& header, const std::string& name, bool ci) {
+  header.push_back(name);
+  if (ci) header.push_back(name + " ±95");
+}
+
+void timeCellCi(Table& t, const Cell& c, bool ci) {
+  timeCell(t, c);
+  if (ci) t.cell(ci95(c.time), 1);
+}
+
+void TraceJsonl::observe(const CellKey& key, std::uint64_t seed, RunOptions& opts) {
+  opts.sampleEvery = sampleEvery_;
+  const std::string cell = key.describe();
+  const std::string seedStr = std::to_string(seed);
+  opts.onEvent = [this, cell, seedStr](const TraceEvent& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    writer_.record(
+        {{"cell", cell},
+         {"seed", seedStr},
+         {"event", traceEventKindName(e.kind)},
+         {"t", std::to_string(e.time)},
+         {"agent", e.agent == kNoAgent ? "-" : std::to_string(e.agent)},
+         {"node", e.node == kInvalidNode ? "-" : std::to_string(e.node)},
+         {"a", e.a == kNoTraceLabel ? "-" : std::to_string(e.a)},
+         {"b", e.b == kNoTraceLabel ? "-" : std::to_string(e.b)}});
+  };
+  const auto snapshot = [this, cell, seedStr](const StepSnapshot& s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    writer_.record({{"cell", cell},
+                    {"seed", seedStr},
+                    {"event", "sample"},
+                    {"t", std::to_string(s.time)},
+                    {"epochs", std::to_string(s.epochs)},
+                    {"settled", std::to_string(s.settled)},
+                    {"moves", std::to_string(s.totalMoves)}});
+  };
+  opts.onRound = snapshot;
+  opts.onActivation = snapshot;
+}
+
+TrajectoryCsv::TrajectoryCsv(std::ostream& os, std::uint64_t sampleEvery)
+    : os_(os), sampleEvery_(sampleEvery) {
+  os_ << "cell,seed,t,epochs,settled,moves\n";
+}
+
+void TrajectoryCsv::observe(const CellKey& key, std::uint64_t seed,
+                            RunOptions& opts) {
+  opts.sampleEvery = sampleEvery_;
+  // CSV-quote the cell key (it contains no quotes, but does contain
+  // spaces/equals signs that some readers split on).
+  const std::string cell = "\"" + key.describe() + "\"";
+  const std::string seedStr = std::to_string(seed);
+  const auto snapshot = [this, cell, seedStr](const StepSnapshot& s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Flush per row, like the JSONL sinks: a killed sweep keeps every
+    // sampled point written so far.
+    os_ << cell << ',' << seedStr << ',' << s.time << ',' << s.epochs << ','
+        << s.settled << ',' << s.totalMoves << '\n'
+        << std::flush;
+  };
+  opts.onRound = snapshot;
+  opts.onActivation = snapshot;
+}
+
 }  // namespace disp::exp

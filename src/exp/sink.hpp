@@ -9,7 +9,9 @@
 // has always parsed out of the markdown, so BENCH_table1.json stays
 // format-compatible.  Growth-fit lines are mirrored as {"fit": ...}.
 
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,5 +60,58 @@ void emitNote(BenchContext& ctx, const std::string& sweep, const std::string& fi
 /// Adds the time cell for an aggregated sweep cell: the exact integer for a
 /// single replicate (historical format), the mean otherwise.
 void timeCell(Table& t, const Cell& c);
+
+/// Header helper for replicated sweeps: appends `name` and, when `ci`,
+/// a "name ±95" column right after it (single-seed tables stay
+/// byte-identical to the historical layout by passing ci = false).
+void timeHeader(std::vector<std::string>& header, const std::string& name, bool ci);
+
+/// timeCell plus, when `ci`, the per-cell 95% confidence half-width of the
+/// mean time over the non-errored replicates.
+void timeCellCi(Table& t, const Cell& c, bool ci);
+
+/// Thread-safe JSON-lines sink for run traces (disp_bench --trace).  Its
+/// observe() hook matches BatchOptions::observe: each replicate gets an
+/// onEvent stream plus sampled snapshot rows, every line self-describing
+/// with the cell key and seed (concurrent replicates interleave by line,
+/// never within one).  Schema (all values JSON strings, validated by
+/// scripts/check_trace.sh):
+///   {"cell", "seed", "event": move|settle|meeting|subsume|collapse|freeze|
+///    oscillation_duty, "t", "agent", "node", "a", "b"}
+///   {"cell", "seed", "event": "sample", "t", "epochs", "settled", "moves"}
+/// "-" stands for no-agent / no-node / no-label fields.
+class TraceJsonl {
+ public:
+  /// Snapshot cadence per run: every `sampleEvery` rounds/activations.
+  TraceJsonl(std::ostream& os, std::uint64_t sampleEvery)
+      : writer_(os), sampleEvery_(sampleEvery) {}
+
+  /// BatchOptions::observe-compatible hook.
+  void observe(const CellKey& key, std::uint64_t seed, RunOptions& opts);
+
+ private:
+  std::mutex mutex_;
+  JsonlWriter writer_;
+  std::uint64_t sampleEvery_;
+};
+
+/// Plotting-friendly settled/moves trajectory sink (disp_bench
+/// --trajectory): one CSV row per sampled snapshot,
+///   cell,seed,t,epochs,settled,moves
+/// with the header emitted on construction.  Thread-safe like TraceJsonl;
+/// rows from concurrent replicates interleave but each is self-describing.
+class TrajectoryCsv {
+ public:
+  /// Snapshot cadence per run: every `sampleEvery` rounds/activations.
+  TrajectoryCsv(std::ostream& os, std::uint64_t sampleEvery);
+
+  /// BatchOptions::observe-compatible hook.
+  void observe(const CellKey& key, std::uint64_t seed, RunOptions& opts);
+
+ private:
+  std::mutex mutex_;
+  std::ostream& os_;
+  std::uint64_t sampleEvery_;
+};
 
 }  // namespace disp::exp

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "algo/placement.hpp"
+#include "algo/registry.hpp"
 #include "graph/generators.hpp"
 #include "util/check.hpp"
 
@@ -31,8 +32,14 @@ RunRecord runCell(const Graph& g, const CaseSpec& c) {
   const Placement p = c.clusters == 1
                           ? rootedPlacement(g, c.k, 0, c.seed)
                           : clusteredPlacement(g, c.k, c.clusters, c.seed);
+  RunOptions opts;
+  opts.algorithm = c.algorithm;
+  opts.scheduler = c.scheduler;
+  opts.seed = c.seed;
+  opts.limit = c.limit;
+  if (c.observe) c.observe(opts);
   RunRecord out;
-  out.run = runDispersion(g, p, {c.algorithm, c.scheduler, c.seed, c.limit});
+  out.run = runSession(g, p, opts);
   out.n = g.nodeCount();
   out.maxDegree = g.maxDegree();
   out.edges = g.edgeCount();
@@ -55,8 +62,9 @@ std::vector<std::uint32_t> SweepSpec::scaledKs() const {
 
 std::string CellKey::describe() const {
   std::ostringstream os;
+  const AlgorithmDef* def = findAlgorithm(algorithm);
   os << family << " k=" << k << " l=" << clusters << " sched=" << scheduler
-     << " algo=" << algorithmName(algorithm);
+     << " algo=" << (def != nullptr ? def->traits.display : algorithm);
   return os.str();
 }
 
@@ -87,6 +95,9 @@ std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
                    !spec.clusterCounts.empty() && !spec.schedulers.empty() &&
                    !spec.seeds.empty(),
                "sweep '" + spec.name + "' has an empty axis");
+  // A typo'd algorithm key would otherwise degrade every one of its cells
+  // into errored replicates; the registry lookup fails the sweep loudly.
+  for (const std::string& algorithm : spec.algorithms) (void)algorithmDef(algorithm);
   const std::vector<std::uint32_t> ks = spec.scaledKs();
   std::vector<CellKey> keys;
   keys.reserve(spec.cellCount());
@@ -94,7 +105,7 @@ std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
     for (const std::uint32_t k : ks) {
       for (const std::uint32_t clusters : spec.clusterCounts) {
         for (const std::string& scheduler : spec.schedulers) {
-          for (const Algorithm algorithm : spec.algorithms) {
+          for (const std::string& algorithm : spec.algorithms) {
             keys.push_back({family, k, clusters, scheduler, algorithm});
           }
         }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,17 +34,21 @@ namespace disp::exp {
 [[nodiscard]] std::vector<std::uint32_t> kSweep(std::uint32_t lo = 5,
                                                 std::uint32_t hi = 9);
 
-/// One simulation point: every input runDispersion needs, from one seed.
+/// One simulation point: every input runSession needs, from one seed.
 struct CaseSpec {
   std::string family = "er";
   std::uint32_t k = 0;
-  Algorithm algorithm = Algorithm::RootedSync;
+  std::string algorithm = "rooted_sync";  ///< registry key (algo/registry.hpp)
   std::uint32_t clusters = 1;  ///< 1 = rooted placement; >1 = ℓ clusters
   std::string scheduler = "round_robin";
   std::uint64_t seed = 17;  ///< drives graph, placement and run
   double nOverK = 2.0;      ///< n = k * nOverK nodes
   PortLabeling labeling = PortLabeling::RandomPermutation;
-  std::uint64_t limit = 0;  ///< round/activation cap; 0 = auto (RunSpec)
+  std::uint64_t limit = 0;  ///< round/activation cap; 0 = auto (RunOptions)
+  /// Observer plumbing: when set, invoked on the run's RunOptions right
+  /// before runSession, to attach onEvent/onRound/... hooks (BatchRunner
+  /// binds its BatchOptions::observe hook here per replicate).
+  std::function<void(RunOptions&)> observe;
 };
 
 /// Outcome of one simulated case plus the graph's vital statistics.
@@ -71,7 +76,7 @@ struct SweepSpec {
   std::string name;  ///< registry / JSONL identifier
   std::vector<std::string> families;
   std::vector<std::uint32_t> ks;
-  std::vector<Algorithm> algorithms;
+  std::vector<std::string> algorithms;  ///< registry keys
   std::vector<std::uint32_t> clusterCounts{1};
   std::vector<std::string> schedulers{"round_robin"};
   std::vector<std::uint64_t> seeds{17};
@@ -100,7 +105,7 @@ struct CellKey {
   std::uint32_t k = 0;
   std::uint32_t clusters = 1;
   std::string scheduler = "round_robin";
-  Algorithm algorithm = Algorithm::RootedSync;
+  std::string algorithm = "rooted_sync";  ///< registry key
 
   [[nodiscard]] bool operator==(const CellKey&) const = default;
   [[nodiscard]] std::string describe() const;

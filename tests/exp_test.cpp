@@ -36,8 +36,8 @@ SweepSpec smallSpec() {
   spec.name = "test";
   spec.families = {"er", "star"};
   spec.ks = {12, 24};
-  spec.algorithms = {Algorithm::RootedSync, Algorithm::KsAsync,
-                     Algorithm::GeneralAsync};
+  spec.algorithms = {"rooted_sync", "ks_async",
+                     "general_async"};
   spec.clusterCounts = {1, 3};
   spec.schedulers = {"round_robin", "uniform"};
   spec.seeds = {1, 2, 3};
@@ -54,13 +54,13 @@ TEST(Sweep, EnumeratesCellsInCanonicalOrder) {
   EXPECT_EQ(keys[0].k, 12u);
   EXPECT_EQ(keys[0].clusters, 1u);
   EXPECT_EQ(keys[0].scheduler, "round_robin");
-  EXPECT_EQ(keys[0].algorithm, Algorithm::RootedSync);
-  EXPECT_EQ(keys[1].algorithm, Algorithm::KsAsync);
+  EXPECT_EQ(keys[0].algorithm, "rooted_sync");
+  EXPECT_EQ(keys[1].algorithm, "ks_async");
   EXPECT_EQ(keys[3].scheduler, "uniform");
   EXPECT_EQ(keys[6].clusters, 3u);
   EXPECT_EQ(keys.back().family, "star");
   EXPECT_EQ(keys.back().k, 24u);
-  EXPECT_EQ(keys.back().algorithm, Algorithm::GeneralAsync);
+  EXPECT_EQ(keys.back().algorithm, "general_async");
 }
 
 TEST(Sweep, RejectsEmptyAxes) {
@@ -81,7 +81,7 @@ TEST(Sweep, ResultLookupThrowsOnMissingCell) {
   SweepSpec spec = smallSpec();
   spec.seeds = {1};
   const SweepResult res = runnerWith(1).run(spec);
-  EXPECT_THROW((void)res.at({"grid", 12, 1, "round_robin", Algorithm::RootedSync}),
+  EXPECT_THROW((void)res.at({"grid", 12, 1, "round_robin", "rooted_sync"}),
                std::out_of_range);
 }
 
@@ -114,14 +114,14 @@ TEST(BatchRunner, MatchesDirectRunCellResults) {
   spec.name = "direct";
   spec.families = {"er"};
   spec.ks = {16};
-  spec.algorithms = {Algorithm::GeneralSync};
+  spec.algorithms = {"general_sync"};
   spec.clusterCounts = {4};
   spec.seeds = {7, 8};
   const SweepResult res = runnerWith(2).run(spec);
-  const Cell& cell = res.at({"er", 16, 4, "round_robin", Algorithm::GeneralSync});
+  const Cell& cell = res.at({"er", 16, 4, "round_robin", "general_sync"});
   for (std::size_t r = 0; r < spec.seeds.size(); ++r) {
     const RunRecord direct = runCell(
-        {"er", 16, Algorithm::GeneralSync, 4, "round_robin", spec.seeds[r]});
+        {"er", 16, "general_sync", 4, "round_robin", spec.seeds[r]});
     expectSameRun(direct.run, cell.replicates[r].run,
                   "seed=" + std::to_string(spec.seeds[r]));
   }
@@ -132,7 +132,7 @@ TEST(BatchRunner, RecordsLimitErrorsInsteadOfThrowing) {
   spec.name = "limited";
   spec.families = {"er"};
   spec.ks = {16};
-  spec.algorithms = {Algorithm::RootedSync};
+  spec.algorithms = {"rooted_sync"};
   spec.seeds = {1, 2};
   spec.limit = 1;  // guaranteed to hit the round cap
   const SweepResult res = runnerWith(2).run(spec);
@@ -154,20 +154,19 @@ TEST(RunDispersion, ConcurrentRunsOnSharedGraphsAreBitIdentical) {
   const Graph star = makeFamily({"star", 48, 42});
   struct Config {
     const Graph* g;
-    Algorithm algo;
+    std::string algo;
     std::uint32_t clusters;
     const char* sched;
     std::uint64_t seed;
   };
   std::vector<Config> configs;
-  const Algorithm algos[] = {Algorithm::RootedSync,   Algorithm::RootedAsync,
-                             Algorithm::GeneralSync,  Algorithm::GeneralAsync,
-                             Algorithm::KsSync,       Algorithm::KsAsync};
+  const char* algos[] = {"rooted_sync",  "rooted_async", "general_sync",
+                         "general_async", "ks_sync",     "ks_async"};
   const char* scheds[] = {"round_robin", "uniform", "weighted:16", "shuffled"};
   for (int i = 0; i < 24; ++i) {
-    const Algorithm algo = algos[i % 6];
+    const std::string algo = algos[i % 6];
     const bool general =
-        algo == Algorithm::GeneralSync || algo == Algorithm::GeneralAsync;
+        algo == "general_sync" || algo == "general_async";
     configs.push_back({i % 2 ? &star : &er, algo, general ? 3u : 1u,
                        scheds[i % 4], 1000 + std::uint64_t(i)});
   }
@@ -175,7 +174,11 @@ TEST(RunDispersion, ConcurrentRunsOnSharedGraphsAreBitIdentical) {
     const Placement p = c.clusters == 1
                             ? rootedPlacement(*c.g, 24, 0, c.seed)
                             : clusteredPlacement(*c.g, 24, c.clusters, c.seed);
-    return runDispersion(*c.g, p, {c.algo, c.sched, c.seed});
+    RunOptions opts;
+    opts.algorithm = c.algo;
+    opts.scheduler = c.sched;
+    opts.seed = c.seed;
+    return runSession(*c.g, p, opts);
   };
 
   std::vector<RunResult> serial(configs.size());

@@ -138,6 +138,21 @@ TEST(GeneralSync, ClusterSweepOnOneGraph) {
   }
 }
 
+TEST(GeneralSync, Seed3GridFrozenAbsorbRegression) {
+  // Pinned repro of the seed-dependent round-cap divergence the exp driver
+  // surfaced (`disp_bench table1_sync_general --seeds=3`, grid k=64 ℓ=8):
+  // a fully dispersed group absorbed a marcher group *while frozen* by a
+  // winner, whose collapse walk collects only tree settlers — the absorbed
+  // members were orphaned unsettled when the frozen fiber parked, and the
+  // surviving group waited on them forever.  absorbMarchers now refuses to
+  // absorb while frozen/dissolved (the §4.7 junction-locking discipline;
+  // DESIGN.md §4.7) and the marchers re-route to the eventual winner.
+  const Graph g = makeFamily({"grid", 128, 3});
+  RunOut run(g, 64, 8, 3);
+  EXPECT_TRUE(run.algo.dispersed());
+  EXPECT_EQ(run.engine.settledCount(), 64u);
+}
+
 TEST(GeneralSync, MemoryLogarithmic) {
   const Graph g = makeFamily({"er", 120, 29});
   RunOut run(g, 96, 4, 7);
