@@ -28,8 +28,8 @@ inline CaseResult runCase(const std::string& family, std::uint32_t k,
                           const std::string& algo, std::uint32_t clusters = 1,
                           const std::string& sched = "round_robin",
                           std::uint64_t seed = 17, double nOverK = 2.0) {
-  return exp::runCell({family, k, algo, clusters, sched, seed, nOverK,
-                       PortLabeling::RandomPermutation});
+  return exp::runCell({family, k, algo, exp::clustersPlacement(clusters), sched,
+                       seed, nOverK, PortLabeling::RandomPermutation});
 }
 
 /// Seed-replicate variant: one run per seed plus the time summary
@@ -47,10 +47,10 @@ inline ReplicatedCase runCaseReplicates(const std::string& family, std::uint32_t
                                         double nOverK = 2.0) {
   exp::SweepSpec spec;
   spec.name = "adhoc";
-  spec.families = {family};
+  spec.graphs = {family};
   spec.ks = {k};
   spec.algorithms = {algo};
-  spec.clusterCounts = {clusters};
+  spec.placements = {exp::clustersPlacement(clusters)};
   spec.schedulers = {sched};
   spec.seeds = seeds;
   spec.nOverK = nOverK;

@@ -1,0 +1,5 @@
+#include "exp/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("scenario", argc, argv);
+}

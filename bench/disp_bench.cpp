@@ -8,6 +8,7 @@
 
 #include "algo/registry.hpp"
 #include "exp/bench_registry.hpp"
+#include "graph/spec.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -15,6 +16,8 @@ namespace {
 void printUsage(std::ostream& os) {
   os << "usage: disp_bench [--list] [--threads=N] [--seeds=a,b,c] [--jsonl=PATH]\n"
         "                  [--trace=PATH | --trajectory=PATH] [--sample=N]\n"
+        "                  [--graphs=SPEC;SPEC] [--placements=SPEC;SPEC]\n"
+        "                  [--ks=a,b,c] [--shard=I/N]\n"
         "                  <sweep>... | all\n\n"
         "sweeps:\n";
   for (const auto& def : disp::exp::benchRegistry()) {
@@ -23,9 +26,19 @@ void printUsage(std::ostream& os) {
   os << "\n--seeds replicates add per-cell \"±95\" CI columns to the tables.\n"
         "--trace streams every run's typed events + sampled snapshots as\n"
         "JSON-lines (cadence --sample=N; schema validated by\n"
-        "scripts/check_trace.sh).  Algorithms are registry keys:\n";
+        "scripts/check_trace.sh).\n"
+        "--graphs/--placements override a sweep's workload axes with\n"
+        "';'-separated spec strings — e.g.\n"
+        "  --graphs='er:n=2048,p=0.01;file:roads.e'\n"
+        "  --placements='rooted;clusters:l=8;adversarial:far'\n"
+        "(the `scenario` sweep is the blank canvas for these).\n"
+        "--shard=I/N runs every Nth cell of the deterministic enumeration;\n"
+        "merge shard JSONL outputs with scripts/merge_jsonl.sh.\n"
+        "Algorithms are registry keys:\n";
   os << " ";
   for (const auto& key : disp::algorithmKeys()) os << " " << key;
+  os << "\ngraph families:\n ";
+  for (const auto& key : disp::graphFamilyKeys()) os << " " << key;
   os << "\nDISP_BENCH_SCALE in {0.5, 1, 2, 4} scales every sweep.\n";
 }
 

@@ -10,6 +10,7 @@
 #include "algo/runner.hpp"
 #include "core/scheduler.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
   const auto caves = static_cast<std::uint32_t>(cli.integer("caves", 160));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 21));
 
-  const Graph cavern = makeFamily({"er", caves, seed});
+  const Graph cavern = makeGraph("er", caves, seed);
   const Placement p = rootedPlacement(cavern, robots, 0, seed);
   std::cout << robots << " unsynchronized robots entering a " << caves
             << "-chamber cave system\n\n";

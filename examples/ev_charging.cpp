@@ -6,6 +6,11 @@
 // when they meet.
 //
 //   ./ev_charging [--cars=60] [--depots=4] [--side=10] [--seed=3]
+//                 [--placement=clusters:l=DEPOTS]
+//
+// --placement accepts any PlacementSpec — try "adversarial:far,l=4" for
+// depots pushed to opposite corners of the city, or "adversarial:hot" for
+// every car jammed at the central interchange.
 #include <iostream>
 
 #include "algo/runner.hpp"
@@ -25,7 +30,9 @@ int main(int argc, char** argv) {
   std::cout << "city grid: " << side << "x" << side << " (" << city.nodeCount()
             << " stations), " << cars << " cars at " << depots << " depots\n";
 
-  const Placement p = clusteredPlacement(city, cars, depots, seed);
+  const std::string placement =
+      cli.str("placement", "clusters:l=" + std::to_string(depots));
+  const Placement p = PlacementSpec::parse(placement).place(city, cars, seed);
   const RunResult r = runDispersion(city, p, {Algorithm::GeneralSync});
 
   std::cout << "relocation " << (r.dispersed ? "succeeded" : "FAILED") << " in "

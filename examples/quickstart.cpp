@@ -2,33 +2,42 @@
 // O(k)-round SYNC dispersion as an *observable session* — watch the settle
 // trajectory live, then inspect the result.
 //
-//   ./quickstart [--family=er] [--n=64] [--k=48] [--seed=7] [--sample=32]
+//   ./quickstart [--graph=er] [--placement=rooted] [--n=64] [--k=48]
+//                [--seed=7] [--sample=32]
+//
+// --graph takes any GraphSpec string (graph/spec.hpp): a legacy family
+// name ("er"), a parameterized generator ("grid:rows=8,cols=8",
+// "er:n=256,p=0.05") or a file ("file:data/roads.e"); --placement any
+// PlacementSpec ("rooted", "clusters:l=4", "adversarial:far", ...).
 #include <algorithm>
 #include <iostream>
 
 #include "algo/registry.hpp"
 #include "algo/runner.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 #include "util/cli.hpp"
 
 using namespace disp;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const std::string family = cli.str("family", "er");
+  const std::string graphSpec = cli.str("graph", cli.str("family", "er"));
+  const std::string placementSpec = cli.str("placement", "rooted");
   const auto n = static_cast<std::uint32_t>(cli.integer("n", 64));
   const auto k = static_cast<std::uint32_t>(cli.integer("k", 48));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 7));
   const auto sample =
       static_cast<std::uint64_t>(std::max<std::int64_t>(1, cli.integer("sample", 32)));
 
-  // 1. An anonymous port-labeled graph.
-  const Graph g = makeFamily({family, n, seed});
-  std::cout << "graph: " << family << " n=" << g.nodeCount() << " m=" << g.edgeCount()
-            << " Delta=" << g.maxDegree() << "\n";
+  // 1. An anonymous port-labeled graph, from a parsed workload spec.
+  const Graph g = makeGraph(graphSpec, n, seed);
+  std::cout << "graph: " << graphSpec << " n=" << g.nodeCount()
+            << " m=" << g.edgeCount() << " Delta=" << g.maxDegree() << "\n";
 
-  // 2. A rooted initial configuration: k agents stacked on node 0.
-  const Placement p = rootedPlacement(g, k, /*root=*/0, seed);
+  // 2. An initial configuration from a parsed placement spec (the default
+  //    "rooted" stacks all k agents on node 0).
+  const Placement p = PlacementSpec::parse(placementSpec).place(g, k, seed);
 
   // 3. Run RootedSyncDisp (Theorem 6.1) as a session: algorithms are
   //    registry keys (algo/registry.hpp), and the observer hooks stream the

@@ -4,8 +4,26 @@
 // assignment; IDs are unique and drawn from [1, k^O(1)] (we use a seeded
 // injection into [1, 4k] by default so ID bit-width matches the paper's
 // O(log k) assumption).
+//
+// PlacementSpec is the parsed, printable form — the placement half of the
+// Scenario API (DESIGN.md §8).  Grammar:
+//
+//   rooted                all k agents on node 0 (the Table 1 default)
+//   rooted:root=5         ... on an explicit node
+//   clusters:l=8          ℓ equal clusters on random distinct nodes
+//   spread                every agent on its own random node
+//   adversarial:far       ℓ (default 2) diameter-separated clusters — the
+//                         lower-bound-style "maximally remote sources"
+//                         start (adversarial:far,l=4 for more clusters)
+//   adversarial:hot       all k agents co-located on a maximum-degree node
+//                         (O(Δ)-probing stress)
+//
+// The adversarial positions are deterministic functions of the graph
+// (farthest-point traversal / argmax degree, lowest node id on ties); the
+// seed only drives the agent-ID injection.  parse(toString()) round-trips.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/world.hpp"
@@ -32,7 +50,48 @@ struct Placement {
 [[nodiscard]] Placement scatteredPlacement(const Graph& g, std::uint32_t k,
                                            std::uint64_t seed);
 
+/// ℓ clusters on pairwise-remote nodes: the first two centers are the ends
+/// of a longest shortest path (distance = diameter), further centers are
+/// added by farthest-point traversal.  For l = 2 the centers are exactly
+/// diameter apart.  Positions are deterministic; seed drives only the IDs.
+[[nodiscard]] Placement adversarialFarPlacement(const Graph& g, std::uint32_t k,
+                                                std::uint32_t clusters,
+                                                std::uint64_t seed);
+
+/// All k agents on a maximum-degree node (lowest id on ties).
+[[nodiscard]] Placement adversarialHotPlacement(const Graph& g, std::uint32_t k,
+                                                std::uint64_t seed);
+
 /// Unique IDs for k agents: a random injection into [1, 4k].
 [[nodiscard]] std::vector<AgentId> randomIds(std::uint32_t k, std::uint64_t seed);
+
+/// A parsed placement spec (see file header for the grammar).
+class PlacementSpec {
+ public:
+  enum class Kind { Rooted, Clusters, Spread, AdversarialFar, AdversarialHot };
+
+  /// Throws std::invalid_argument on an unknown kind or parameter.
+  [[nodiscard]] static PlacementSpec parse(const std::string& text);
+
+  /// Canonical form (defaults elided); parse(toString()) round-trips.
+  [[nodiscard]] std::string toString() const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// Start-node count ℓ: 1 for rooted/hot, the l parameter for
+  /// clusters/far, 0 (= k, one per agent) for spread.
+  [[nodiscard]] std::uint32_t clusterCount() const;
+  /// Short table-cell label; matches the historical ℓ column for the
+  /// rooted/clusters kinds ("1", "8", ...), names the others.
+  [[nodiscard]] std::string tableLabel() const;
+
+  /// Places k agents on g.  Seed-deterministic like the free functions.
+  [[nodiscard]] Placement place(const Graph& g, std::uint32_t k,
+                                std::uint64_t seed) const;
+
+ private:
+  Kind kind_ = Kind::Rooted;
+  std::uint32_t clusters_ = 1;  // Clusters / AdversarialFar
+  NodeId root_ = 0;             // Rooted
+};
 
 }  // namespace disp

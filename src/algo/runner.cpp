@@ -6,6 +6,7 @@
 #include "core/async_engine.hpp"
 #include "core/scheduler.hpp"
 #include "core/sync_engine.hpp"
+#include "graph/spec.hpp"
 #include "util/check.hpp"
 
 namespace disp {
@@ -118,6 +119,16 @@ RunResult runSession(const Graph& g, const Placement& placement,
   RunResult r = finishAsync(engine, algo->dispersed());
   r.trajectory = std::move(trajectory);
   return r;
+}
+
+RunResult runScenario(const std::string& graphSpec, const std::string& placementSpec,
+                      std::uint32_t k, const RunOptions& opts, std::uint32_t n) {
+  DISP_REQUIRE(k >= 1, "k must be >= 1");
+  const Graph g = GraphSpec::parse(graphSpec)
+                      .instantiate(n != 0 ? n : 2 * k, opts.seed,
+                                   PortLabeling::RandomPermutation);
+  const Placement p = PlacementSpec::parse(placementSpec).place(g, k, opts.seed);
+  return runSession(g, p, opts);
 }
 
 RunResult runDispersion(const Graph& g, const Placement& placement,

@@ -2,7 +2,7 @@
 // Observable run sessions over every dispersion algorithm in the library.
 // This is the public API examples, benches and the exp/ driver use:
 //
-//   Graph g = makeFamily({"er", 256, seed});
+//   Graph g = makeGraph("er", 256, seed);
 //   Placement p = rootedPlacement(g, 128, 0, seed);
 //   RunOptions opts;
 //   opts.algorithm = "rooted_sync";          // registry key (algo/registry.hpp)
@@ -89,6 +89,24 @@ struct RunOptions {
 /// see DESIGN.md §5).  Observer hooks are invoked on the calling thread.
 [[nodiscard]] RunResult runSession(const Graph& g, const Placement& placement,
                                    const RunOptions& opts);
+
+// ------------------------------------------------------------ scenario API
+
+/// One-call scenario runner over the parsed spec grammar (DESIGN.md §8):
+///
+///   RunResult r = runScenario("grid:rows=16,cols=16", "adversarial:far",
+///                             /*k=*/128, opts);
+///
+/// `graphSpec` is a GraphSpec string (graph/spec.hpp: legacy family
+/// aliases, parameterized families, or file:PATH); `placementSpec` a
+/// PlacementSpec string (algo/placement.hpp).  `n` sizes graph specs that
+/// don't pin their own node count; 0 applies the Table 1 default n = 2k.
+/// The run seed (opts.seed) also drives graph construction and placement,
+/// exactly like the experiment driver's per-replicate seeds.
+[[nodiscard]] RunResult runScenario(const std::string& graphSpec,
+                                    const std::string& placementSpec,
+                                    std::uint32_t k, const RunOptions& opts = {},
+                                    std::uint32_t n = 0);
 
 // ------------------------------------------------------------- compat shim
 

@@ -5,10 +5,9 @@
 #include <map>
 #include <mutex>
 #include <thread>
-#include <tuple>
 
 #include "core/scheduler.hpp"
-#include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp::exp {
 
@@ -45,6 +44,8 @@ void parallelFor(unsigned threads, std::size_t jobs,
 }
 
 SweepResult BatchRunner::run(const SweepSpec& spec) const {
+  DISP_REQUIRE(options_.shardCount >= 1 && options_.shardIndex < options_.shardCount,
+               "shard must be I/N with I < N");
   SweepResult result;
   result.spec = spec;
 
@@ -60,49 +61,77 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
   for (const std::string& sched : spec.schedulers) {
     (void)makeSchedulerByName(sched, maxK, 1);
   }
+
+  // Graph axis entries were validated by enumerateCells; parse each
+  // distinct canonical string once.
+  std::map<std::string, GraphSpec> parsed;
+  for (const CellKey& key : keys) {
+    parsed.try_emplace(key.graph, GraphSpec::parse(key.graph));
+  }
+  const auto contextN = [&spec](std::uint32_t k) {
+    return static_cast<std::uint32_t>(double(k) * spec.nOverK);
+  };
+
+  // Shard partition over the canonical enumeration: skipped cells keep
+  // their key but never allocate replicate slots.
+  const std::size_t reps = spec.seeds.size();
   result.cells.resize(keys.size());
+  std::vector<std::size_t> owned;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     result.cells[i].key = keys[i];
-    result.cells[i].replicates.resize(spec.seeds.size());
-  }
-
-  // Build each distinct graph once.  Graphs differ only by (family, n,
-  // seed) — n = k * nOverK and the labeling are fixed per spec — so cells
-  // that vary algorithm / scheduler / clusters share one instance.
-  using GraphKeyT = std::tuple<std::string, std::uint32_t, std::uint64_t>;
-  std::map<GraphKeyT, Graph> graphs;
-  for (const CellKey& key : keys) {
-    const auto n = static_cast<std::uint32_t>(double(key.k) * spec.nOverK);
-    for (const std::uint64_t seed : spec.seeds) {
-      graphs.try_emplace({key.family, n, seed});
+    if (i % options_.shardCount == options_.shardIndex) {
+      result.cells[i].replicates.resize(reps);
+      owned.push_back(i);
     }
   }
+
+  // Build each distinct graph instance once.  The cache key is
+  // GraphSpec::instanceKey — the canonical spec string plus the context
+  // size and seed it actually consumes — so cells that vary algorithm /
+  // scheduler / placement (and, for size-pinned or file specs, even k or
+  // seed) share one instance.
+  std::map<std::string, Graph> graphs;
   {
-    std::vector<std::pair<const GraphKeyT*, Graph*>> toBuild;
-    toBuild.reserve(graphs.size());
-    for (auto& [gk, g] : graphs) toBuild.emplace_back(&gk, &g);
+    struct BuildPlan {
+      const GraphSpec* spec;
+      std::uint32_t n;
+      std::uint64_t seed;
+    };
+    std::map<std::string, BuildPlan> plans;
+    for (const std::size_t i : owned) {
+      const CellKey& key = keys[i];
+      const GraphSpec& gs = parsed.at(key.graph);
+      const std::uint32_t n = contextN(key.k);
+      for (const std::uint64_t seed : spec.seeds) {
+        plans.try_emplace(gs.instanceKey(n, seed), BuildPlan{&gs, n, seed});
+      }
+    }
+    std::vector<std::pair<const BuildPlan*, Graph*>> toBuild;
+    toBuild.reserve(plans.size());
+    for (auto& [ik, plan] : plans) {
+      toBuild.emplace_back(&plan, &graphs.try_emplace(ik).first->second);
+    }
     parallelFor(options_.threads, toBuild.size(), [&](std::size_t i) {
-      const auto& [family, n, seed] = *toBuild[i].first;
-      *toBuild[i].second = makeFamily({family, n, seed, spec.labeling});
+      const BuildPlan& plan = *toBuild[i].first;
+      *toBuild[i].second = plan.spec->instantiate(plan.n, plan.seed, spec.labeling);
     });
   }
 
-  // One work item per (cell, replicate); each writes only its own slot.
-  // Per-cell countdowns detect the last replicate so finished cells can be
-  // summarized and streamed immediately (onCellDone).
-  const std::size_t reps = spec.seeds.size();
+  // One work item per owned (cell, replicate); each writes only its own
+  // slot.  Per-cell countdowns detect the last replicate so finished cells
+  // can be summarized and streamed immediately (onCellDone).
   std::vector<std::atomic<std::size_t>> remaining(keys.size());
   for (auto& r : remaining) r.store(reps, std::memory_order_relaxed);
   std::mutex cellDoneMutex;
-  parallelFor(options_.threads, keys.size() * reps, [&](std::size_t job) {
-    const std::size_t cellIx = job / reps;
+  parallelFor(options_.threads, owned.size() * reps, [&](std::size_t job) {
+    const std::size_t cellIx = owned[job / reps];
     const std::size_t repIx = job % reps;
     const CellKey& key = keys[cellIx];
     CaseSpec c;
-    c.family = key.family;
+    c.graph = key.graph;
     c.k = key.k;
     c.algorithm = key.algorithm;
-    c.clusters = key.clusters;
+    c.placement = key.placement;
     c.scheduler = key.scheduler;
     c.seed = spec.seeds[repIx];
     c.nOverK = spec.nOverK;
@@ -113,14 +142,14 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
         options_.observe(key, seed, opts);
       };
     }
-    const auto n = static_cast<std::uint32_t>(double(key.k) * spec.nOverK);
-    const Graph& g = graphs.at({key.family, n, c.seed});
+    const Graph& g =
+        graphs.at(parsed.at(key.graph).instanceKey(contextN(key.k), c.seed));
     RunRecord& slot = result.cells[cellIx].replicates[repIx];
     try {
       slot = runCell(g, c);
     } catch (const std::exception& e) {
       // A diverging replicate (round/activation limit hit) or a cell whose
-      // algorithm rejects its placement (e.g. KS inside a clusterCounts
+      // algorithm rejects its placement (e.g. KS inside a general-placement
       // cross-product) degrades to an undispersed record instead of
       // aborting the rest of the sweep.
       slot = RunRecord{};

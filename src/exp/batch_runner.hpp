@@ -3,10 +3,18 @@
 //
 // BatchRunner enumerates a spec's cells, constructs every distinct graph
 // exactly once (immutable Graph instances are shared by const reference
-// across all concurrent runs that use them — runDispersion builds all
-// mutable state per call, see DESIGN.md §5), then executes the
-// (cell × seed) work items over a std::thread pool.  Results land in
-// preallocated slots, so the output is bit-identical for any worker count.
+// across all concurrent runs whose GraphSpec::instanceKey matches —
+// `file:` graphs load once for *all* seeds; runSession builds all mutable
+// state per call, see DESIGN.md §5), then executes the (cell × seed) work
+// items over a std::thread pool.  Results land in preallocated slots, so
+// the output is bit-identical for any worker count.
+//
+// Sharding (DESIGN.md §8): shardIndex/shardCount partition the canonical
+// cell enumeration by index — cell i runs iff i % shardCount == shardIndex
+// — so N disp_bench processes with --shard=0/N .. N-1/N cover a sweep
+// disjointly and deterministically.  Skipped cells keep their key with no
+// replicates (Cell::ran() == false); scripts/merge_jsonl.sh recombines the
+// shards' JSONL outputs.
 
 #include <cstddef>
 #include <functional>
@@ -18,11 +26,16 @@ namespace disp::exp {
 struct BatchOptions {
   /// Worker threads; 0 = hardware_concurrency, 1 = run inline.
   unsigned threads = 0;
+  /// Deterministic cell partition: run cell i iff i % shardCount ==
+  /// shardIndex.  Default 0/1 = run everything.
+  unsigned shardIndex = 0;
+  unsigned shardCount = 1;
   /// When set, invoked once per cell as soon as its last replicate lands
   /// (summary already computed), in completion order — NOT canonical order.
   /// Calls are serialized under a runner-internal mutex, so the callback
   /// needs no locking of its own.  Large-k sweeps use this to stream rows
-  /// to JSONL so a killed run keeps its completed cells.
+  /// to JSONL so a killed run keeps its completed cells.  Never invoked
+  /// for cells outside this shard.
   std::function<void(const Cell&)> onCellDone;
   /// Observer plumbing: when set, invoked for every (cell, replicate)
   /// right before its run to install trace/snapshot hooks on the run's
@@ -44,8 +57,8 @@ class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions options = {}) : options_(options) {}
 
-  /// Executes every (cell, seed) of the spec; cells come back in canonical
-  /// enumeration order regardless of scheduling.
+  /// Executes every (cell, seed) of the spec owned by this shard; cells
+  /// come back in canonical enumeration order regardless of scheduling.
   [[nodiscard]] SweepResult run(const SweepSpec& spec) const;
 
  private:

@@ -4,7 +4,9 @@
 #include <iostream>
 #include <memory>
 
+#include "algo/placement.hpp"
 #include "exp/benches.hpp"
+#include "graph/spec.hpp"
 
 namespace disp::exp {
 
@@ -42,6 +44,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchWallclock},
       {"trace_smoke", "E16: tiny observed cells (drives --trace / check_trace.sh)",
        &benchTraceSmoke},
+      {"scenario", "E17: ad-hoc workloads from --graphs/--placements/--ks specs",
+       &benchScenario},
   };
   return kRegistry;
 }
@@ -76,7 +80,7 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
     jsonl = std::make_unique<JsonlWriter>(*jsonlFile);
   }
 
-  BenchContext ctx{std::cout, jsonl.get(), {}, {}};
+  BenchContext ctx{std::cout, jsonl.get(), {}, {}, {}, {}, {}};
   const std::int64_t threads = cli.integer("threads", 0);
   if (threads < 0 || threads > 4096) {
     std::cerr << "error: --threads must be in [0, 4096] (0 = hardware concurrency)\n";
@@ -84,6 +88,53 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
   }
   ctx.batch.threads = static_cast<unsigned>(threads);
   ctx.seedOverride = cli.u64list("seeds");
+
+  // Workload overrides: ';'-separated GraphSpec / PlacementSpec strings
+  // (spec parameters use ',' internally) and a comma-separated k list.
+  // Validate up front so a typo'd spec fails before any sweep runs.
+  ctx.graphOverride = cli.specList("graphs");
+  ctx.placementOverride = cli.specList("placements");
+  try {
+    for (const std::string& g : ctx.graphOverride) (void)GraphSpec::parse(g);
+    for (const std::string& p : ctx.placementOverride) {
+      (void)PlacementSpec::parse(p);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  for (const std::uint64_t k : cli.u64list("ks")) {
+    if (k < 1 || k > (1ULL << 24)) {
+      std::cerr << "error: --ks values must be in [1, 2^24]\n";
+      return 2;
+    }
+    ctx.kOverride.push_back(static_cast<std::uint32_t>(k));
+  }
+
+  // --shard=I/N: deterministic cell-index partition (merge the JSONL
+  // outputs with scripts/merge_jsonl.sh).
+  const std::string shard = cli.str("shard", "");
+  if (!shard.empty()) {
+    const auto slash = shard.find('/');
+    if (slash == std::string::npos) {
+      std::cerr << "error: --shard wants I/N (e.g. --shard=0/4)\n";
+      return 2;
+    }
+    std::uint64_t index = 0, count = 0;
+    try {
+      index = parseU64(shard.substr(0, slash), "--shard index");
+      count = parseU64(shard.substr(slash + 1), "--shard count");
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    if (count < 1 || count > 4096 || index >= count) {
+      std::cerr << "error: --shard=I/N needs I < N <= 4096\n";
+      return 2;
+    }
+    ctx.batch.shardIndex = static_cast<unsigned>(index);
+    ctx.batch.shardCount = static_cast<unsigned>(count);
+  }
 
   // Trace sink: every replicate of every selected sweep streams its typed
   // events + sampled snapshots as JSON lines (schema in exp/sink.hpp).

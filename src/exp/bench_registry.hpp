@@ -21,6 +21,15 @@
 //                    (one row per sampled snapshot; exclusive with --trace)
 //   --sample=N       snapshot cadence for --trace/--trajectory (default 1
 //                    = every round/activation)
+//   --graphs=S;S     override a suite's graph axis with ';'-separated
+//                    GraphSpec strings (graph/spec.hpp grammar, e.g.
+//                    'grid:rows=64,cols=64;file:roads.e')
+//   --placements=S;S override the placement axis with ';'-separated
+//                    PlacementSpec strings ('rooted;adversarial:far')
+//   --ks=a,b,c       override the k axis (suites that take it)
+//   --shard=I/N      run only cells with index ≡ I (mod N) of each suite's
+//                    deterministic enumeration; merge the JSONL shard
+//                    outputs with scripts/merge_jsonl.sh
 
 #include <string>
 #include <vector>

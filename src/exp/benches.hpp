@@ -1,7 +1,7 @@
 #pragma once
-// The fifteen named experiment suites (the former hand-rolled bench
-// binaries plus the large-k scale sweep), each a declarative body over the
-// sweep/batch/sink subsystem.
+// The named experiment suites (the former hand-rolled bench binaries, the
+// large-k scale sweep and the ad-hoc scenario driver), each a declarative
+// body over the sweep/batch/sink subsystem.
 // Registered by name in bench_registry.cpp; the bench/*.cpp binaries are
 // thin one-line mains over benchMain().
 
@@ -35,5 +35,9 @@ void benchWallclock(BenchContext& ctx);           // E14
 // Tiny observed cells exercising the trace/observer API end to end; the
 // CI trace-smoke gate runs it under --trace (benches_misc.cpp).
 void benchTraceSmoke(BenchContext& ctx);          // E16
+
+// Ad-hoc workloads: the --graphs/--placements/--ks spec cross-product
+// (benches_misc.cpp).
+void benchScenario(BenchContext& ctx);            // E17
 
 }  // namespace disp::exp

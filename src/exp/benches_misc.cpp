@@ -1,4 +1,5 @@
 // Lower-bound anchor, ablations, and wall-clock telemetry (E11–E14).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -6,7 +7,7 @@
 #include "algo/registry.hpp"
 #include "core/scheduler.hpp"
 #include "exp/benches.hpp"
-#include "graph/generators.hpp"
+#include "graph/spec.hpp"
 #include "util/check.hpp"
 
 namespace disp::exp {
@@ -20,7 +21,7 @@ void benchLowerBoundLine(BenchContext& ctx) {
   ctx.out << "# E11: lower-bound anchor — path, all agents at one end\n";
   SweepSpec spec;
   spec.name = name;
-  spec.families = {"path"};
+  spec.graphs = {"path"};
   spec.ks = kSweep(5, 9);
   spec.algorithms = {"rooted_sync", "general_sync",
                      "ks_sync", "rooted_async"};
@@ -30,11 +31,16 @@ void benchLowerBoundLine(BenchContext& ctx) {
 
   Table t({"k", "RootedSync/k", "Sudo-style/k", "KS/k", "RootedAsync(ep)/k"});
   for (const std::uint32_t k : spec.ks) {
-    t.row().cell(std::uint64_t{k});
+    std::vector<const Cell*> row;
     for (const std::string& algo : spec.algorithms) {
-      const Cell& c = res.at({"path", k, 1, "round_robin", algo});
-      t.cell(c.meanTime() / k, 2);
+      row.push_back(&res.at({"path", k, "rooted", "round_robin", algo}));
     }
+    if (!std::all_of(row.begin(), row.end(),
+                     [](const Cell* c) { return c->ran(); })) {
+      continue;  // outside this --shard
+    }
+    t.row().cell(std::uint64_t{k});
+    for (const Cell* c : row) t.cell(c->meanTime() / k, 2);
   }
   emitTable(ctx, name, "time/k ratios (lower bound = 1.0)", t);
 }
@@ -50,7 +56,7 @@ void benchAblationTechniques(BenchContext& ctx) {
   ctx.out << "# E12: ablation — technique levels on a clique (k = n)\n";
   SweepSpec spec;
   spec.name = name;
-  spec.families = {"complete"};
+  spec.graphs = {"complete"};
   spec.ks = kSweep(5, 9);
   spec.algorithms = {"ks_sync", "general_sync",
                      "rooted_sync"};
@@ -61,9 +67,10 @@ void benchAblationTechniques(BenchContext& ctx) {
   Table t({"k", "KS(level0)", "doubling(level1)", "full(level2)",
            "lvl0/lvl2", "lvl1/lvl2"});
   for (const std::uint32_t k : spec.ks) {
-    const Cell& l0 = res.at({"complete", k, 1, "round_robin", "ks_sync"});
-    const Cell& l1 = res.at({"complete", k, 1, "round_robin", "general_sync"});
-    const Cell& l2 = res.at({"complete", k, 1, "round_robin", "rooted_sync"});
+    const Cell& l0 = res.at({"complete", k, "rooted", "round_robin", "ks_sync"});
+    const Cell& l1 = res.at({"complete", k, "rooted", "round_robin", "general_sync"});
+    const Cell& l2 = res.at({"complete", k, "rooted", "round_robin", "rooted_sync"});
+    if (!l0.ran() || !l1.ran() || !l2.ran()) continue;  // outside this --shard
     t.row().cell(std::uint64_t{k});
     timeCell(t, l0);
     timeCell(t, l1);
@@ -83,7 +90,7 @@ void benchAblationScheduler(BenchContext& ctx) {
   const auto k = static_cast<std::uint32_t>(96 * scale());
   SweepSpec spec;
   spec.name = name;
-  spec.families = {"er"};
+  spec.graphs = {"er"};
   spec.ks = {k};
   spec.algorithms = {"rooted_async", "ks_async"};
   spec.schedulers = knownSchedulers();
@@ -97,7 +104,7 @@ void benchAblationScheduler(BenchContext& ctx) {
   Table t(hdr);
   for (const std::string& algo : spec.algorithms) {
     for (const std::string& sched : spec.schedulers) {
-      const Cell& r = res.at({"er", k, 1, sched, algo});
+      const Cell& r = res.at({"er", k, "rooted", sched, algo});
       if (!r.allDispersed()) continue;
       double activations = 0.0;
       for (const RunRecord& rec : r.replicates) {
@@ -147,16 +154,15 @@ void benchWallclock(BenchContext& ctx) {
   Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run", "Mact/s",
            "Mmoves/s"});
   for (const Config& cfg : configs) {
-    const Graph g = makeFamily({"er", 2 * cfg.k, 7});
+    const Graph g = makeGraph("er", 2 * cfg.k, 7);
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t runs = 0;
     std::uint64_t activations = 0;
     std::uint64_t moves = 0;
     double elapsedMs = 0.0;
     do {
-      const Placement p =
-          cfg.clusters == 1 ? rootedPlacement(g, cfg.k, 0, 3)
-                            : clusteredPlacement(g, cfg.k, cfg.clusters, 3);
+      const Placement p = PlacementSpec::parse(clustersPlacement(cfg.clusters))
+                              .place(g, cfg.k, 3);
       RunOptions opts;
       opts.algorithm = cfg.algo;
       opts.scheduler = cfg.sched;
@@ -203,14 +209,14 @@ void benchTraceSmoke(BenchContext& ctx) {
   const auto addRows = [&](const SweepSpec& spec, const SweepResult& res) {
     for (const std::string& algo : spec.algorithms) {
       for (const std::string& sched : spec.schedulers) {
-        const Cell& c = res.at(
-            {spec.families.front(), spec.ks.front(), spec.clusterCounts.front(),
-             sched, algo});
+        const Cell& c = res.at({spec.graphs.front(), spec.ks.front(),
+                                spec.placements.front(), sched, algo});
+        if (!c.ran()) continue;  // outside this --shard
         t.row()
             .cell(algorithmDisplayName(algo))
-            .cell(spec.families.front())
+            .cell(spec.graphs.front())
             .cell(std::uint64_t{spec.ks.front()})
-            .cell(std::uint64_t{spec.clusterCounts.front()})
+            .cell(PlacementSpec::parse(spec.placements.front()).tableLabel())
             .cell(sched);
         timeCellCi(t, c, ci);
         t.cell(std::string(c.allDispersed() ? "yes" : "NO"));
@@ -220,7 +226,7 @@ void benchTraceSmoke(BenchContext& ctx) {
 
   SweepSpec rooted;
   rooted.name = name;
-  rooted.families = {"er"};
+  rooted.graphs = {"er"};
   rooted.ks = {16};
   rooted.algorithms = {"rooted_sync", "rooted_async", "ks_sync", "ks_async"};
   rooted.seeds = ctx.seedsOr(5);
@@ -231,15 +237,61 @@ void benchTraceSmoke(BenchContext& ctx) {
   // the trace for both general protocols.
   SweepSpec general;
   general.name = name;
-  general.families = {"grid"};
+  general.graphs = {"grid"};
   general.ks = {16};
   general.algorithms = {"general_sync", "general_async"};
-  general.clusterCounts = {4};
+  general.placements = {"clusters:l=4"};
   general.seeds = ctx.seedsOr(5);
   const SweepResult generalRes = ctx.runner().run(general);
   addRows(general, generalRes);
 
   emitTable(ctx, name, "trace smoke cells", t);
+}
+
+// E17 — ad-hoc scenarios: the cross-product of whatever --graphs /
+// --placements / --ks specs the caller passes (DESIGN.md §8 grammar),
+// driven through the two general-configuration protocols (which accept
+// every placement kind).  Defaults keep `disp_bench all` cheap: one small
+// ER sweep over rooted + 4-cluster starts.
+void benchScenario(BenchContext& ctx) {
+  const std::string name = "scenario";
+  ctx.out << "# E17: scenario — ad-hoc workloads (--graphs/--placements/--ks)\n";
+  SweepSpec spec;
+  spec.name = name;
+  spec.graphs = ctx.graphsOr({"er"});
+  spec.ks = ctx.ksOr(kSweep(4, 6));
+  spec.algorithms = {"general_sync", "general_async"};
+  spec.placements = ctx.placementsOr({"rooted", "clusters:l=4"});
+  spec.seeds = ctx.seedsOr(17);
+  const SweepResult res = ctx.runner().run(spec);
+
+  const bool ci = spec.seeds.size() > 1;
+  std::vector<std::string> hdr{"graph", "k", "placement", "algo", "n", "m",
+                               "Delta"};
+  timeHeader(hdr, "time", ci);
+  hdr.emplace_back("dispersed");
+  Table t(hdr);
+  for (const std::string& graph : spec.graphs) {
+    for (const std::uint32_t k : spec.scaledKs()) {
+      for (const std::string& place : spec.placements) {
+        for (const std::string& algo : spec.algorithms) {
+          const Cell& c = res.at({graph, k, place, "round_robin", algo});
+          if (!c.ran()) continue;  // outside this --shard
+          t.row()
+              .cell(graph)
+              .cell(std::uint64_t{k})
+              .cell(PlacementSpec::parse(place).toString())
+              .cell(algorithmDisplayName(algo))
+              .cell(std::uint64_t{c.first().n})
+              .cell(c.first().edges)
+              .cell(std::uint64_t{c.first().maxDegree});
+          timeCellCi(t, c, ci);
+          t.cell(std::string(c.allDispersed() ? "yes" : "NO"));
+        }
+      }
+    }
+  }
+  emitTable(ctx, name, "ad-hoc scenario cells", t);
 }
 
 }  // namespace disp::exp

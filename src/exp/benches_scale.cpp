@@ -16,11 +16,11 @@ namespace disp::exp {
 void benchTable1Scale(BenchContext& ctx) {
   const std::string name = "table1_scale";
   ctx.out << "# E15: Table 1 at scale — SYNC rooted, k=2^10..2^14\n";
-  for (const std::string family : {"er", "grid", "randtree"}) {
+  for (const std::string& family : ctx.graphsOr({"er", "grid", "randtree"})) {
     SweepSpec spec;
     spec.name = name;
-    spec.families = {family};
-    spec.ks = {1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
+    spec.graphs = {family};
+    spec.ks = ctx.ksOr({1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14});
     spec.scale = scale();  // ks are literal, so fold DISP_BENCH_SCALE here
     spec.algorithms = {"rooted_sync"};
     spec.seeds = ctx.seedsOr(3);
@@ -34,7 +34,7 @@ void benchTable1Scale(BenchContext& ctx) {
         std::vector<std::pair<std::string, std::string>> fields;
         fields.emplace_back("sweep", name);
         fields.emplace_back("table", "cell");
-        fields.emplace_back("family", c.key.family);
+        fields.emplace_back("family", c.key.graph);
         fields.emplace_back("k", std::to_string(c.key.k));
         fields.emplace_back("n", std::to_string(c.first().n));
         fields.emplace_back("rounds", fmt(c.meanTime(), c.replicates.size() == 1 ? 0 : 1));
@@ -53,7 +53,8 @@ void benchTable1Scale(BenchContext& ctx) {
     Table t(hdr);
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.scaledKs()) {
-      const Cell& c = res.at({family, k, 1, "round_robin", "rooted_sync"});
+      const Cell& c = res.at({family, k, "rooted", "round_robin", "rooted_sync"});
+      if (!c.ran()) continue;  // outside this --shard
       t.row()
           .cell(std::uint64_t{k})
           .cell(std::uint64_t{c.first().n})

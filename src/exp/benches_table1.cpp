@@ -3,6 +3,7 @@
 // binaries; with --seeds replicates, time cells become per-cell means.
 #include <cmath>
 
+#include "algo/placement.hpp"
 #include "algo/registry.hpp"
 #include "exp/benches.hpp"
 
@@ -17,11 +18,11 @@ namespace disp::exp {
 void benchTable1SyncRooted(BenchContext& ctx) {
   const std::string name = "table1_sync_rooted";
   ctx.out << "# E1: Table 1 — SYNC rooted (rounds vs k)\n";
-  for (const std::string family :
-       {"er", "complete", "star", "path", "randtree"}) {
+  for (const std::string& family :
+       ctx.graphsOr({"er", "complete", "star", "path", "randtree"})) {
     SweepSpec spec;
     spec.name = name;
-    spec.families = {family};
+    spec.graphs = {family};
     // complete graphs need n=k to stress KS; other families use n=2k.
     spec.ks = kSweep(5, family == "complete" ? 8 : 9);
     spec.algorithms = {"rooted_sync", "general_sync",
@@ -39,9 +40,10 @@ void benchTable1SyncRooted(BenchContext& ctx) {
     Table t(hdr);
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.ks) {
-      const Cell& a = res.at({family, k, 1, "round_robin", "rooted_sync"});
-      const Cell& b = res.at({family, k, 1, "round_robin", "general_sync"});
-      const Cell& c = res.at({family, k, 1, "round_robin", "ks_sync"});
+      const Cell& a = res.at({family, k, "rooted", "round_robin", "rooted_sync"});
+      const Cell& b = res.at({family, k, "rooted", "round_robin", "general_sync"});
+      const Cell& c = res.at({family, k, "rooted", "round_robin", "ks_sync"});
+      if (!a.ran() || !b.ran() || !c.ran()) continue;  // outside this --shard
       if (!a.allDispersed() || !b.allDispersed() || !c.allDispersed()) {
         ctx.out << "!! undispersed case " << family << " k=" << k << "\n";
         continue;
@@ -73,10 +75,10 @@ void benchTable1SyncRooted(BenchContext& ctx) {
 void benchTable1AsyncRooted(BenchContext& ctx) {
   const std::string name = "table1_async_rooted";
   ctx.out << "# E2: Table 1 — ASYNC rooted (epochs vs k)\n";
-  for (const std::string family : {"er", "complete", "star"}) {
+  for (const std::string& family : ctx.graphsOr({"er", "complete", "star"})) {
     SweepSpec spec;
     spec.name = name;
-    spec.families = {family};
+    spec.graphs = {family};
     spec.ks = kSweep(5, 8);
     spec.algorithms = {"rooted_async", "ks_async"};
     spec.schedulers = {"round_robin", "uniform"};
@@ -93,8 +95,9 @@ void benchTable1AsyncRooted(BenchContext& ctx) {
     std::vector<double> ks, ours;
     for (const std::uint32_t k : spec.ks) {
       for (const std::string& sched : spec.schedulers) {
-        const Cell& a = res.at({family, k, 1, sched, "rooted_async"});
-        const Cell& b = res.at({family, k, 1, sched, "ks_async"});
+        const Cell& a = res.at({family, k, "rooted", sched, "rooted_async"});
+        const Cell& b = res.at({family, k, "rooted", sched, "ks_async"});
+        if (!a.ran() || !b.ran()) continue;  // outside this --shard
         if (!a.allDispersed() || !b.allDispersed()) continue;
         const double lg = std::log2(double(k));
         const double ksBound =
@@ -132,10 +135,11 @@ void benchTable1SyncGeneral(BenchContext& ctx) {
   ctx.out << "# E3: Table 1 — SYNC general (rounds vs k and l)\n";
   SweepSpec spec;
   spec.name = name;
-  spec.families = {"er", "grid", "randtree"};
+  spec.graphs = ctx.graphsOr({"er", "grid", "randtree"});
   spec.ks = kSweep(5, 8);
   spec.algorithms = {"general_sync"};
-  spec.clusterCounts = {2, 4, 8};
+  spec.placements =
+      ctx.placementsOr({"clusters:l=2", "clusters:l=4", "clusters:l=8"});
   spec.seeds = ctx.seedsOr(7);
   const SweepResult res = ctx.runner().run(spec);
 
@@ -144,12 +148,14 @@ void benchTable1SyncGeneral(BenchContext& ctx) {
   timeHeader(hdr, "rounds", ci);
   hdr.insert(hdr.end(), {"rounds/(k log k)", "dispersed"});
   Table t(hdr);
-  for (const std::string& family : spec.families) {
+  for (const std::string& family : spec.graphs) {
     for (const std::uint32_t k : spec.ks) {
-      for (const std::uint32_t l : spec.clusterCounts) {
-        const Cell& r = res.at({family, k, l, "round_robin", "general_sync"});
+      for (const std::string& place : spec.placements) {
+        const Cell& r = res.at({family, k, place, "round_robin", "general_sync"});
+        if (!r.ran()) continue;  // outside this --shard
         const double lg = std::log2(double(k));
-        t.row().cell(family).cell(std::uint64_t{k}).cell(std::uint64_t{l});
+        t.row().cell(family).cell(std::uint64_t{k}).cell(
+            PlacementSpec::parse(place).tableLabel());
         timeCellCi(t, r, ci);
         t.cell(r.meanTime() / (k * lg), 2)
             .cell(std::string(r.allDispersed() ? "yes" : "NO"));
@@ -172,10 +178,10 @@ void benchTable1AsyncGeneral(BenchContext& ctx) {
   ctx.out << "# E4: Table 1 — ASYNC general (GeneralAsyncDisp, Theorem 8.2)\n";
   SweepSpec spec;
   spec.name = name;
-  spec.families = {"er", "grid"};
+  spec.graphs = ctx.graphsOr({"er", "grid"});
   spec.ks = kSweep(5, 8);
   spec.algorithms = {"general_async"};
-  spec.clusterCounts = {1, 4, 16};
+  spec.placements = ctx.placementsOr({"rooted", "clusters:l=4", "clusters:l=16"});
   spec.schedulers = {"round_robin", "uniform", "weighted"};
   spec.seeds = ctx.seedsOr(9);
   const SweepResult res = ctx.runner().run(spec);
@@ -186,21 +192,22 @@ void benchTable1AsyncGeneral(BenchContext& ctx) {
   hdr.emplace_back("epochs/(k log k)");
   Table t(hdr);
   std::vector<double> ks, es;
-  for (const std::string& family : spec.families) {
+  for (const std::string& family : spec.graphs) {
     for (const std::uint32_t k : spec.ks) {
-      for (const std::uint32_t l : spec.clusterCounts) {
+      for (const std::string& place : spec.placements) {
+        const std::string l = PlacementSpec::parse(place).tableLabel();
         for (const std::string& sched : spec.schedulers) {
-          const Cell& r = res.at({family, k, l, sched, "general_async"});
+          const Cell& r = res.at({family, k, place, sched, "general_async"});
           if (!r.allDispersed()) continue;
           const double lg = std::log2(double(k));
           t.row()
               .cell(family)
               .cell(std::uint64_t{k})
-              .cell(std::uint64_t{l})
+              .cell(l)
               .cell(sched);
           timeCellCi(t, r, ci);
           t.cell(r.meanTime() / (k * lg), 2);
-          if (family == "er" && l == 4 && sched == "round_robin") {
+          if (family == "er" && l == "4" && sched == "round_robin") {
             ks.push_back(k);
             es.push_back(r.meanTime());
           }
@@ -229,19 +236,19 @@ void benchTable1Memory(BenchContext& ctx) {
     // GeneralAsync runs from a genuine general configuration (ℓ = 4); the
     // others keep their Table 1 placements (GeneralSync's ℓ = 1 is the
     // Sudo-style baseline row).
-    const std::uint32_t clusters = algo == "general_async" ? 4 : 1;
+    const std::string place = algo == "general_async" ? "clusters:l=4" : "rooted";
     SweepSpec spec;
     spec.name = name;
-    spec.families = {"er", "star"};
+    spec.graphs = ctx.graphsOr({"er", "star"});
     spec.ks = kSweep(5, 8);
     spec.algorithms = {algo};
-    spec.clusterCounts = {clusters};
+    spec.placements = {place};
     spec.seeds = ctx.seedsOr(11);
     const SweepResult res = ctx.runner().run(spec);
 
-    for (const std::string& family : spec.families) {
+    for (const std::string& family : spec.graphs) {
       for (const std::uint32_t k : spec.ks) {
-        const Cell& r = res.at({family, k, clusters, "round_robin", algo});
+        const Cell& r = res.at({family, k, place, "round_robin", algo});
         if (!r.allDispersed()) continue;
         const double lg = std::log2(double(k) + double(r.first().maxDegree));
         t.row()

@@ -33,16 +33,36 @@ class JsonlWriter {
 };
 
 /// Everything a bench body needs: the markdown stream, an optional JSONL
-/// mirror, execution options, and an optional replicate-seed override.
+/// mirror, execution options, and the optional axis overrides (seeds,
+/// graph/placement specs, k values) that the --seeds/--graphs/
+/// --placements/--ks flags install.
 struct BenchContext {
   std::ostream& out;
   JsonlWriter* jsonl = nullptr;
   BatchOptions batch;
   /// When non-empty, replaces each bench's historical single seed.
   std::vector<std::uint64_t> seedOverride;
+  /// When non-empty, replaces a sweep's graph axis (GraphSpec strings).
+  std::vector<std::string> graphOverride;
+  /// When non-empty, replaces a sweep's placement axis (PlacementSpec strings).
+  std::vector<std::string> placementOverride;
+  /// When non-empty, replaces a sweep's k axis.
+  std::vector<std::uint32_t> kOverride;
 
   [[nodiscard]] std::vector<std::uint64_t> seedsOr(std::uint64_t fallback) const {
     return seedOverride.empty() ? std::vector<std::uint64_t>{fallback} : seedOverride;
+  }
+  [[nodiscard]] std::vector<std::string> graphsOr(
+      std::vector<std::string> fallback) const {
+    return graphOverride.empty() ? std::move(fallback) : graphOverride;
+  }
+  [[nodiscard]] std::vector<std::string> placementsOr(
+      std::vector<std::string> fallback) const {
+    return placementOverride.empty() ? std::move(fallback) : placementOverride;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> ksOr(
+      std::vector<std::uint32_t> fallback) const {
+    return kOverride.empty() ? std::move(fallback) : kOverride;
   }
   [[nodiscard]] BatchRunner runner() const { return BatchRunner(batch); }
 };

@@ -1,13 +1,11 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "algo/placement.hpp"
 #include "algo/registry.hpp"
-#include "graph/generators.hpp"
 #include "util/check.hpp"
 
 namespace disp::exp {
@@ -22,16 +20,18 @@ std::vector<std::uint32_t> kSweep(std::uint32_t lo, std::uint32_t hi) {
   return ks;
 }
 
+std::string clustersPlacement(std::uint32_t clusters) {
+  return clusters == 1 ? "rooted" : "clusters:l=" + std::to_string(clusters);
+}
+
 RunRecord runCell(const CaseSpec& c) {
   const auto n = static_cast<std::uint32_t>(double(c.k) * c.nOverK);
-  const Graph g = makeFamily({c.family, n, c.seed, c.labeling});
+  const Graph g = GraphSpec::parse(c.graph).instantiate(n, c.seed, c.labeling);
   return runCell(g, c);
 }
 
 RunRecord runCell(const Graph& g, const CaseSpec& c) {
-  const Placement p = c.clusters == 1
-                          ? rootedPlacement(g, c.k, 0, c.seed)
-                          : clusteredPlacement(g, c.k, c.clusters, c.seed);
+  const Placement p = PlacementSpec::parse(c.placement).place(g, c.k, c.seed);
   RunOptions opts;
   opts.algorithm = c.algorithm;
   opts.scheduler = c.scheduler;
@@ -63,7 +63,7 @@ std::vector<std::uint32_t> SweepSpec::scaledKs() const {
 std::string CellKey::describe() const {
   std::ostringstream os;
   const AlgorithmDef* def = findAlgorithm(algorithm);
-  os << family << " k=" << k << " l=" << clusters << " sched=" << scheduler
+  os << graph << " k=" << k << " place=" << placement << " sched=" << scheduler
      << " algo=" << (def != nullptr ? def->traits.display : algorithm);
   return os.str();
 }
@@ -84,29 +84,44 @@ std::uint64_t Cell::maxMemoryBits() const {
 }
 
 const Cell& SweepResult::at(const CellKey& key) const {
+  CellKey canon = key;
+  canon.graph = GraphSpec::parse(key.graph).toString();
+  canon.placement = PlacementSpec::parse(key.placement).toString();
   for (const Cell& c : cells) {
-    if (c.key == key) return c;
+    if (c.key == canon) return c;
   }
-  throw std::out_of_range("sweep '" + spec.name + "' has no cell " + key.describe());
+  throw std::out_of_range("sweep '" + spec.name + "' has no cell " + canon.describe());
 }
 
 std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
-  DISP_REQUIRE(!spec.families.empty() && !spec.ks.empty() && !spec.algorithms.empty() &&
-                   !spec.clusterCounts.empty() && !spec.schedulers.empty() &&
+  DISP_REQUIRE(!spec.graphs.empty() && !spec.ks.empty() && !spec.algorithms.empty() &&
+                   !spec.placements.empty() && !spec.schedulers.empty() &&
                    !spec.seeds.empty(),
                "sweep '" + spec.name + "' has an empty axis");
-  // A typo'd algorithm key would otherwise degrade every one of its cells
-  // into errored replicates; the registry lookup fails the sweep loudly.
+  // A typo'd algorithm key or spec string would otherwise degrade every one
+  // of its cells into errored replicates; validating the axes up front
+  // fails the sweep loudly.  Spec strings are stored canonically so any
+  // equivalent spelling addresses the same cell.
   for (const std::string& algorithm : spec.algorithms) (void)algorithmDef(algorithm);
+  std::vector<std::string> graphs;
+  graphs.reserve(spec.graphs.size());
+  for (const std::string& g : spec.graphs) {
+    graphs.push_back(GraphSpec::parse(g).toString());
+  }
+  std::vector<std::string> placements;
+  placements.reserve(spec.placements.size());
+  for (const std::string& p : spec.placements) {
+    placements.push_back(PlacementSpec::parse(p).toString());
+  }
   const std::vector<std::uint32_t> ks = spec.scaledKs();
   std::vector<CellKey> keys;
   keys.reserve(spec.cellCount());
-  for (const std::string& family : spec.families) {
+  for (const std::string& graph : graphs) {
     for (const std::uint32_t k : ks) {
-      for (const std::uint32_t clusters : spec.clusterCounts) {
+      for (const std::string& placement : placements) {
         for (const std::string& scheduler : spec.schedulers) {
           for (const std::string& algorithm : spec.algorithms) {
-            keys.push_back({family, k, clusters, scheduler, algorithm});
+            keys.push_back({graph, k, placement, scheduler, algorithm});
           }
         }
       }

@@ -1,48 +1,69 @@
 #pragma once
 // Declarative experiment sweeps.
 //
-// A SweepSpec names a cross-product of experiment axes — graph families ×
-// agent counts k × start-node clusters ℓ × ASYNC schedulers × algorithms —
-// plus a list of replicate seeds.  Each point of the cross-product is a
-// *cell*; each cell is simulated once per seed (the seed drives graph
-// construction, placement and the run itself, exactly like the historical
-// bench_common::runCase single-seed path).  BatchRunner (batch_runner.hpp)
-// executes a spec over a thread pool, sharing each immutable Graph across
-// every run that uses it, and aggregates replicates per cell.
+// A SweepSpec names a cross-product of experiment axes — graph workload
+// specs × agent counts k × placement specs × ASYNC schedulers × algorithms
+// — plus a list of replicate seeds.  The graph and placement axes are
+// *spec strings* (graph/spec.hpp, algo/placement.hpp): legacy family names
+// ("er") and cluster counts stay valid as aliases, and any parseable
+// workload — parameterized generators, `file:PATH` graphs, adversarial
+// placements — drops into the same cross-product.  Each point of the
+// cross-product is a *cell*; each cell is simulated once per seed (the
+// seed drives graph construction, placement and the run itself, exactly
+// like the historical bench_common::runCase single-seed path).
+// BatchRunner (batch_runner.hpp) executes a spec over a thread pool,
+// sharing each immutable Graph across every run with an equal
+// GraphSpec::instanceKey, and aggregates replicates per cell.
 //
 // Scale knob: DISP_BENCH_SCALE ∈ {0.5, 1, 2, 4} scales kSweep() the same
 // way it always scaled the hand-rolled bench loops.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "algo/runner.hpp"
-#include "graph/graph.hpp"
+#include "graph/spec.hpp"
 #include "util/stats.hpp"
 
 namespace disp::exp {
 
+/// DISP_BENCH_SCALE as a validated positive factor (1.0 when unset).
+/// Throws std::invalid_argument on a malformed or non-positive value — a
+/// silent atof-style 0.0 would collapse every kSweep to the minimum.
 [[nodiscard]] inline double scale() {
-  if (const char* s = std::getenv("DISP_BENCH_SCALE")) return std::atof(s);
-  return 1.0;
+  const char* s = std::getenv("DISP_BENCH_SCALE");
+  if (s == nullptr || *s == '\0') return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    throw std::invalid_argument("DISP_BENCH_SCALE='" + std::string(s) +
+                                "' is not a positive number");
+  }
+  return v;
 }
 
 /// k values 2^lo .. 2^hi scaled by DISP_BENCH_SCALE (minimum 8).
 [[nodiscard]] std::vector<std::uint32_t> kSweep(std::uint32_t lo = 5,
                                                 std::uint32_t hi = 9);
 
+/// Legacy placement alias: the historical cluster-count knob as a
+/// PlacementSpec string (1 = "rooted", ℓ > 1 = "clusters:l=ℓ").
+[[nodiscard]] std::string clustersPlacement(std::uint32_t clusters);
+
 /// One simulation point: every input runSession needs, from one seed.
 struct CaseSpec {
-  std::string family = "er";
+  std::string graph = "er";  ///< GraphSpec string (graph/spec.hpp)
   std::uint32_t k = 0;
   std::string algorithm = "rooted_sync";  ///< registry key (algo/registry.hpp)
-  std::uint32_t clusters = 1;  ///< 1 = rooted placement; >1 = ℓ clusters
+  std::string placement = "rooted";  ///< PlacementSpec string (algo/placement.hpp)
   std::string scheduler = "round_robin";
   std::uint64_t seed = 17;  ///< drives graph, placement and run
-  double nOverK = 2.0;      ///< n = k * nOverK nodes
+  double nOverK = 2.0;  ///< default sizing n = k * nOverK for size-unbound specs
   PortLabeling labeling = PortLabeling::RandomPermutation;
   std::uint64_t limit = 0;  ///< round/activation cap; 0 = auto (RunOptions)
   /// Observer plumbing: when set, invoked on the run's RunOptions right
@@ -66,18 +87,19 @@ struct RunRecord {
 /// Builds the case's graph and placement and runs it once.
 [[nodiscard]] RunRecord runCell(const CaseSpec& c);
 
-/// Same, against a prebuilt graph (must equal makeFamily for the case's
-/// family/n/seed/labeling — BatchRunner uses this to share graphs).
+/// Same, against a prebuilt graph (must equal the case's GraphSpec
+/// instance for its k/nOverK/seed/labeling — BatchRunner uses this to
+/// share graphs).
 [[nodiscard]] RunRecord runCell(const Graph& g, const CaseSpec& c);
 
 /// The cross-product of experiment axes.  Every vector axis must be
 /// non-empty; `seeds` are the replicates aggregated per cell.
 struct SweepSpec {
   std::string name;  ///< registry / JSONL identifier
-  std::vector<std::string> families;
+  std::vector<std::string> graphs;  ///< GraphSpec strings
   std::vector<std::uint32_t> ks;
   std::vector<std::string> algorithms;  ///< registry keys
-  std::vector<std::uint32_t> clusterCounts{1};
+  std::vector<std::string> placements{"rooted"};  ///< PlacementSpec strings
   std::vector<std::string> schedulers{"round_robin"};
   std::vector<std::uint64_t> seeds{17};
   double nOverK = 2.0;
@@ -94,16 +116,18 @@ struct SweepSpec {
   [[nodiscard]] std::vector<std::uint32_t> scaledKs() const;
 
   [[nodiscard]] std::size_t cellCount() const {
-    return families.size() * scaledKs().size() * algorithms.size() *
-           clusterCounts.size() * schedulers.size();
+    return graphs.size() * scaledKs().size() * algorithms.size() *
+           placements.size() * schedulers.size();
   }
 };
 
 /// Coordinates of one cell inside a sweep (the seed axis is aggregated).
+/// enumerateCells stores the canonical spec strings; SweepResult::at
+/// canonicalizes its probe, so lookups may use any equivalent spelling.
 struct CellKey {
-  std::string family;
+  std::string graph;
   std::uint32_t k = 0;
-  std::uint32_t clusters = 1;
+  std::string placement = "rooted";
   std::string scheduler = "round_robin";
   std::string algorithm = "rooted_sync";  ///< registry key
 
@@ -112,13 +136,20 @@ struct CellKey {
 };
 
 /// One aggregated cell: replicate runs (index-parallel with spec.seeds)
-/// plus summary statistics over the time metric.
+/// plus summary statistics over the time metric.  A cell outside this
+/// process's shard (BatchOptions::shardIndex/shardCount) keeps its key but
+/// has no replicates: ran() == false.
 struct Cell {
   CellKey key;
   std::vector<RunRecord> replicates;
   Summary time;  ///< rounds (SYNC) / epochs (ASYNC) over non-errored replicates
 
-  [[nodiscard]] const RunRecord& first() const { return replicates.front(); }
+  /// False for cells skipped by sharding (no replicates executed here).
+  [[nodiscard]] bool ran() const { return !replicates.empty(); }
+  [[nodiscard]] const RunRecord& first() const {
+    DISP_CHECK(!replicates.empty(), "cell " + key.describe() + " did not run");
+    return replicates.front();
+  }
   [[nodiscard]] bool allDispersed() const;
   /// Mean time over replicates (the single value for single-seed sweeps).
   [[nodiscard]] double meanTime() const { return time.mean; }
@@ -127,17 +158,19 @@ struct Cell {
 };
 
 /// Result of executing a SweepSpec: cells in deterministic enumeration
-/// order (family ▸ k ▸ clusters ▸ scheduler ▸ algorithm, each axis in spec
+/// order (graph ▸ k ▸ placement ▸ scheduler ▸ algorithm, each axis in spec
 /// order) — independent of thread count.
 struct SweepResult {
   SweepSpec spec;
   std::vector<Cell> cells;
 
-  /// Cell lookup; throws std::out_of_range naming the missing key.
+  /// Cell lookup (spec strings canonicalized first); throws
+  /// std::out_of_range naming the missing key.
   [[nodiscard]] const Cell& at(const CellKey& key) const;
 };
 
-/// Enumerates the cell keys of a spec in canonical order.
+/// Enumerates the cell keys of a spec in canonical order, validating every
+/// axis (graph/placement specs parsed, algorithm keys resolved).
 [[nodiscard]] std::vector<CellKey> enumerateCells(const SweepSpec& spec);
 
 /// 95% confidence-interval half-width of the mean (normal approximation);

@@ -253,58 +253,4 @@ bool isConnected(const Graph& g) {
   return visited == n;
 }
 
-Graph makeFamily(const GraphSpec& spec) {
-  const std::uint32_t n = spec.n;
-  const std::uint64_t seed = spec.seed;
-  GraphBuilder b(0);
-  if (spec.family == "path") {
-    b = makePath(n);
-  } else if (spec.family == "cycle") {
-    b = makeCycle(n);
-  } else if (spec.family == "star") {
-    b = makeStar(n);
-  } else if (spec.family == "wheel") {
-    b = makeWheel(n);
-  } else if (spec.family == "complete") {
-    b = makeComplete(n);
-  } else if (spec.family == "bipartite") {
-    b = makeCompleteBipartite(n / 2, n - n / 2);
-  } else if (spec.family == "bintree") {
-    b = makeBinaryTree(n);
-  } else if (spec.family == "randtree") {
-    b = makeRandomTree(n, seed);
-  } else if (spec.family == "caterpillar") {
-    const std::uint32_t spine = std::max(1U, n / 4);
-    b = makeCaterpillar(spine, (n - spine) / std::max(1U, spine));
-  } else if (spec.family == "grid") {
-    const auto side = static_cast<std::uint32_t>(std::lround(std::sqrt(double(n))));
-    b = makeGrid(std::max(1U, side), std::max(1U, side));
-  } else if (spec.family == "hypercube") {
-    std::uint32_t dims = 1;
-    while ((1U << (dims + 1)) <= n) ++dims;
-    b = makeHypercube(dims);
-  } else if (spec.family == "er") {
-    // Expected degree ~ 2 ln n: safely above the connectivity threshold.
-    const double p = std::min(1.0, 2.0 * std::log(std::max(2.0, double(n))) / double(n));
-    b = makeErdosRenyiConnected(n, p, seed);
-  } else if (spec.family == "regular") {
-    const std::uint32_t d = (n * 4 % 2 == 0) ? 4 : 3;
-    b = makeRandomRegular(std::max(6U, n), d, seed);
-  } else if (spec.family == "lollipop") {
-    b = makeLollipop(n, std::max(2U, n / 2));
-  } else if (spec.family == "barbell") {
-    const std::uint32_t c = std::max(2U, n / 3);
-    b = makeBarbell(c, n - 2 * c);
-  } else {
-    throw std::invalid_argument("unknown graph family: " + spec.family);
-  }
-  return b.build(spec.labeling, seed);
-}
-
-std::vector<std::string> knownFamilies() {
-  return {"path",        "cycle", "star",      "wheel",   "complete",
-          "bipartite",   "bintree", "randtree", "caterpillar", "grid",
-          "hypercube",   "er",    "regular",   "lollipop", "barbell"};
-}
-
 }  // namespace disp

@@ -15,15 +15,10 @@
 //   * lollipop / barbell    — mixed dense+sparse, worst-case-ish traversal
 
 #include <cstdint>
-#include <optional>
-#include <string>
-#include <vector>
 
 #include "graph/graph.hpp"
 
 namespace disp {
-
-struct GraphSpec;
 
 [[nodiscard]] GraphBuilder makePath(std::uint32_t n);
 [[nodiscard]] GraphBuilder makeCycle(std::uint32_t n);
@@ -50,18 +45,9 @@ struct GraphSpec;
 /// Barbell: two K_c cliques joined by a path.
 [[nodiscard]] GraphBuilder makeBarbell(std::uint32_t cliqueSize, std::uint32_t pathLen);
 
-/// Named family registry, used by benches/CLI: family(name, n, seed).
-/// Recognized names: path, cycle, star, wheel, complete, bipartite, bintree,
-/// randtree, caterpillar, grid, hypercube, er, regular, lollipop, barbell.
-struct GraphSpec {
-  std::string family;
-  std::uint32_t n = 0;
-  std::uint64_t seed = 0;
-  PortLabeling labeling = PortLabeling::RandomPermutation;
-};
-
-[[nodiscard]] Graph makeFamily(const GraphSpec& spec);
-[[nodiscard]] std::vector<std::string> knownFamilies();
+// The string-keyed family registry (family name -> one of the generators
+// above, with the historical size-derivation rules) lives in graph/spec.hpp:
+// GraphSpec::parse / makeGraph / registerGraphFamily.
 
 /// True iff the graph is connected (BFS).
 [[nodiscard]] bool isConnected(const Graph& g);

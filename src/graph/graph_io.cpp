@@ -1,12 +1,68 @@
 #include "graph/graph_io.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
+#include "graph/generators.hpp"  // isConnected
 #include "util/check.hpp"
 
 namespace disp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& source, const std::string& why) {
+  throw std::invalid_argument(source + ": " + why);
+}
+
+[[noreturn]] void failAt(const std::string& source, std::uint64_t line,
+                         const std::string& why) {
+  fail(source + ":" + std::to_string(line), why);
+}
+
+/// Strict unsigned parse of one token; nullopt on anything non-numeric.
+std::optional<std::uint64_t> parseId(const std::string& tok) {
+  if (tok.empty() ||
+      tok.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::strtoull(tok.c_str(), nullptr, 10);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string tok;
+  while (is >> tok) toks.push_back(tok);
+  return toks;
+}
+
+bool isCommentOrBlank(const std::vector<std::string>& toks) {
+  return toks.empty() || toks.front()[0] == '#' || toks.front()[0] == '%';
+}
+
+/// Shared tail of the port-free formats: canonical edge order (sorted by
+/// remapped endpoints) + insertion-order ports = a deterministic labeling,
+/// then the model's connectivity requirement.
+Graph buildDeterministic(std::uint32_t n, std::vector<Edge> edges,
+                         const std::string& source) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  GraphBuilder b(n);
+  for (const Edge& e : edges) b.addEdge(e.u, e.v);
+  Graph g = b.build(PortLabeling::InsertionOrder, 0);
+  if (!isConnected(g)) fail(source, "graph is not connected");
+  return g;
+}
+
+}  // namespace
 
 void writeGraph(std::ostream& os, const Graph& g) {
   os << "dpg " << g.nodeCount() << ' ' << g.edgeCount() << '\n';
@@ -20,27 +76,66 @@ void writeGraph(std::ostream& os, const Graph& g) {
   }
 }
 
-Graph readGraph(std::istream& is) {
-  std::string magic;
-  std::uint32_t n = 0;
-  std::uint64_t m = 0;
-  is >> magic >> n >> m;
-  DISP_REQUIRE(magic == "dpg", "bad graph header");
-
+Graph readGraph(std::istream& is, const std::string& source) {
   struct Rec {
     NodeId u;
     Port pu;
     NodeId v;
     Port pv;
+    std::uint64_t line;
   };
+  std::uint64_t lineNo = 0;
+  std::string line;
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  bool sawHeader = false;
   std::vector<Rec> recs;
-  recs.reserve(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    Rec r{};
-    is >> r.u >> r.pu >> r.v >> r.pv;
-    DISP_REQUIRE(static_cast<bool>(is), "truncated graph file");
-    DISP_REQUIRE(r.u < n && r.v < n, "node out of range in graph file");
+  std::set<std::pair<NodeId, NodeId>> seenEdges;
+
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (!sawHeader) {
+      if (toks.size() != 3 || toks[0] != "dpg") {
+        failAt(source, lineNo, "bad graph header (want 'dpg <n> <m>')");
+      }
+      const auto hn = parseId(toks[1]);
+      const auto hm = parseId(toks[2]);
+      if (!hn || !hm || *hn > 0xffffffffULL) {
+        failAt(source, lineNo, "bad node/edge count in header");
+      }
+      n = static_cast<std::uint32_t>(*hn);
+      m = *hm;
+      sawHeader = true;
+      continue;
+    }
+    if (recs.size() == m) failAt(source, lineNo, "trailing content after the last edge");
+    if (toks.size() != 4) failAt(source, lineNo, "want '<u> <pu> <v> <pv>'");
+    std::uint64_t vals[4];
+    for (int i = 0; i < 4; ++i) {
+      const auto v = parseId(toks[static_cast<std::size_t>(i)]);
+      if (!v) failAt(source, lineNo, "non-numeric field '" +
+                                         toks[static_cast<std::size_t>(i)] + "'");
+      vals[i] = *v;
+    }
+    if (vals[0] >= n || vals[2] >= n) {
+      failAt(source, lineNo, "node out of range (n = " + std::to_string(n) + ")");
+    }
+    if (vals[0] == vals[2]) failAt(source, lineNo, "self-loop");
+    Rec r{static_cast<NodeId>(vals[0]), static_cast<Port>(vals[1]),
+          static_cast<NodeId>(vals[2]), static_cast<Port>(vals[3]), lineNo};
+    const auto key = std::minmax(r.u, r.v);
+    if (!seenEdges.insert({key.first, key.second}).second) {
+      failAt(source, lineNo,
+             "duplicate edge " + std::to_string(r.u) + "-" + std::to_string(r.v));
+    }
     recs.push_back(r);
+  }
+  if (!sawHeader) fail(source, "bad graph header (want 'dpg <n> <m>')");
+  if (recs.size() != m) {
+    fail(source, "truncated graph file: " + std::to_string(recs.size()) + " of " +
+                     std::to_string(m) + " edges");
   }
 
   // Degrees are implied by the maximum port mentioned at each node; ports
@@ -53,17 +148,30 @@ Graph readGraph(std::istream& is) {
   {
     std::vector<std::vector<std::uint8_t>> seen(n);
     for (NodeId v = 0; v < n; ++v) seen[v].assign(deg[v] + 1, 0);
-    auto mark = [&](NodeId at, Port p) {
-      DISP_REQUIRE(p >= 1 && p <= deg[at], "port out of range in file");
-      DISP_REQUIRE(!seen[at][p], "duplicate port in file");
+    const auto mark = [&](NodeId at, Port p, std::uint64_t atLine) {
+      if (p < 1 || p > deg[at]) {
+        failAt(source, atLine,
+               "port " + std::to_string(p) + " out of range at node " +
+                   std::to_string(at) + " (degree " + std::to_string(deg[at]) + ")");
+      }
+      if (seen[at][p]) {
+        failAt(source, atLine, "duplicate port " + std::to_string(p) +
+                                   " at node " + std::to_string(at));
+      }
       seen[at][p] = 1;
     };
     for (const Rec& r : recs) {
-      mark(r.u, r.pu);
-      mark(r.v, r.pv);
+      mark(r.u, r.pu, r.line);
+      mark(r.v, r.pv, r.line);
     }
-    for (NodeId v = 0; v < n; ++v)
-      for (Port p = 1; p <= deg[v]; ++p) DISP_REQUIRE(seen[v][p], "missing port in file");
+    for (NodeId v = 0; v < n; ++v) {
+      for (Port p = 1; p <= deg[v]; ++p) {
+        if (!seen[v][p]) {
+          fail(source, "node " + std::to_string(v) + " is missing port " +
+                           std::to_string(p));
+        }
+      }
+    }
   }
 
   GraphBuilder b(n);
@@ -73,7 +181,102 @@ Graph readGraph(std::istream& is) {
     b.addEdge(r.u, r.v);
     ports.emplace_back(r.pu, r.pv);
   }
-  return b.buildWithPorts(ports);
+  Graph g = b.buildWithPorts(ports);
+  if (!isConnected(g)) fail(source, "graph is not connected");
+  return g;
+}
+
+Graph readEdgeList(std::istream& is, const std::string& source) {
+  std::uint64_t lineNo = 0;
+  std::string line;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::vector<std::uint64_t> ids;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::vector<std::string> toks = tokenize(line);
+    if (isCommentOrBlank(toks)) continue;
+    if (toks.size() != 2) failAt(source, lineNo, "want '<u> <v>' per edge line");
+    const auto u = parseId(toks[0]);
+    const auto v = parseId(toks[1]);
+    if (!u || !v) {
+      failAt(source, lineNo,
+             "non-numeric node id '" + (!u ? toks[0] : toks[1]) + "'");
+    }
+    if (*u == *v) failAt(source, lineNo, "self-loop at node " + toks[0]);
+    const auto key = std::minmax(*u, *v);
+    if (!seen.insert({key.first, key.second}).second) {
+      failAt(source, lineNo, "duplicate edge " + toks[0] + " " + toks[1]);
+    }
+    raw.emplace_back(*u, *v);
+    ids.push_back(*u);
+    ids.push_back(*v);
+  }
+  if (raw.empty()) fail(source, "no edges");
+
+  // Remap the (possibly sparse) ids to 0..n-1 in sorted-id order.
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const auto index = [&ids](std::uint64_t id) {
+    return static_cast<NodeId>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+  };
+  std::vector<Edge> edges;
+  edges.reserve(raw.size());
+  for (const auto& [u, v] : raw) edges.push_back({index(u), index(v)});
+  return buildDeterministic(static_cast<std::uint32_t>(ids.size()),
+                            std::move(edges), source);
+}
+
+Graph readGraphalytics(std::istream& vs, std::istream& es,
+                       const std::string& vSource, const std::string& eSource) {
+  std::map<std::uint64_t, NodeId> index;
+  std::uint64_t lineNo = 0;
+  std::string line;
+  while (std::getline(vs, line)) {
+    ++lineNo;
+    const std::vector<std::string> toks = tokenize(line);
+    if (isCommentOrBlank(toks)) continue;
+    const auto id = parseId(toks[0]);
+    if (!id) failAt(vSource, lineNo, "non-numeric vertex id '" + toks[0] + "'");
+    const auto next = static_cast<NodeId>(index.size());
+    if (!index.emplace(*id, next).second) {
+      failAt(vSource, lineNo, "duplicate vertex id " + toks[0]);
+    }
+  }
+  if (index.empty()) fail(vSource, "no vertices");
+  DISP_REQUIRE(index.size() <= 0xffffffffULL, "too many vertices in " + vSource);
+
+  std::vector<Edge> edges;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  lineNo = 0;
+  while (std::getline(es, line)) {
+    ++lineNo;
+    const std::vector<std::string> toks = tokenize(line);
+    if (isCommentOrBlank(toks)) continue;
+    if (toks.size() != 2 && toks.size() != 3) {
+      failAt(eSource, lineNo, "want '<src> <dst> [weight]' per edge line");
+    }
+    NodeId mapped[2];
+    for (int i = 0; i < 2; ++i) {
+      const auto id = parseId(toks[static_cast<std::size_t>(i)]);
+      const auto it = id ? index.find(*id) : index.end();
+      if (it == index.end()) {
+        failAt(eSource, lineNo,
+               "unknown vertex id '" + toks[static_cast<std::size_t>(i)] +
+                   "' (not in " + vSource + ")");
+      }
+      mapped[i] = it->second;
+    }
+    if (mapped[0] == mapped[1]) failAt(eSource, lineNo, "self-loop at id " + toks[0]);
+    const auto key = std::minmax(mapped[0], mapped[1]);
+    if (!seen.insert({key.first, key.second}).second) {
+      failAt(eSource, lineNo, "duplicate edge " + toks[0] + " " + toks[1]);
+    }
+    edges.push_back({mapped[0], mapped[1]});
+  }
+  return buildDeterministic(static_cast<std::uint32_t>(index.size()),
+                            std::move(edges), eSource);
 }
 
 void saveGraph(const std::string& path, const Graph& g) {
@@ -82,10 +285,46 @@ void saveGraph(const std::string& path, const Graph& g) {
   writeGraph(os, g);
 }
 
-Graph loadGraph(const std::string& path) {
+namespace {
+
+std::ifstream openOrFail(const std::string& path) {
   std::ifstream is(path);
   DISP_REQUIRE(is.good(), "cannot open file for reading: " + path);
-  return readGraph(is);
+  return is;
+}
+
+}  // namespace
+
+Graph loadGraph(const std::string& path) {
+  std::ifstream is = openOrFail(path);
+  return readGraph(is, path);
+}
+
+Graph loadEdgeList(const std::string& path) {
+  std::ifstream is = openOrFail(path);
+  return readEdgeList(is, path);
+}
+
+Graph loadGraphalytics(const std::string& path) {
+  std::string base = path;
+  if (base.size() >= 2 &&
+      (base.ends_with(".v") || base.ends_with(".e"))) {
+    base.resize(base.size() - 2);
+  }
+  std::ifstream vs = openOrFail(base + ".v");
+  std::ifstream es = openOrFail(base + ".e");
+  return readGraphalytics(vs, es, base + ".v", base + ".e");
+}
+
+Graph loadAnyGraph(const std::string& path) {
+  if (path.ends_with(".v") || path.ends_with(".e")) return loadGraphalytics(path);
+  {
+    std::ifstream sniff = openOrFail(path);
+    std::string first;
+    sniff >> first;
+    if (first == "dpg") return loadGraph(path);
+  }
+  return loadEdgeList(path);
 }
 
 }  // namespace disp

@@ -1,12 +1,32 @@
 #pragma once
-// Text serialization for graphs.  Format ("dpg" — dispersion port graph):
+// Graph file I/O.  Three readable formats, one writable:
 //
-//   dpg <n> <m>
-//   <u> <pu> <v> <pv>      (one line per edge; ports preserved exactly)
+//  * "dpg" (dispersion port graph) — our native archive format:
 //
-// Round-tripping preserves the port labeling, which matters: an algorithm's
-// trajectory depends on port numbers, so experiments can be archived and
-// replayed bit-for-bit.
+//        dpg <n> <m>
+//        <u> <pu> <v> <pv>      (one line per edge; ports preserved exactly)
+//
+//    Round-tripping preserves the port labeling, which matters: an
+//    algorithm's trajectory depends on port numbers, so experiments can be
+//    archived and replayed bit-for-bit.
+//
+//  * plain edge lists — one `u v` pair per line, `#`/`%` comments and blank
+//    lines ignored; node ids are arbitrary non-negative integers, remapped
+//    to 0..n-1 in sorted-id order.
+//
+//  * Graphalytics `.v`/`.e` pairs — the `.v` file lists one vertex id per
+//    line (extra value columns ignored), the `.e` file one `src dst
+//    [weight]` edge per line; ids map to their `.v` line order.
+//
+// Formats without stored ports get a *deterministic* labeling: edges are
+// sorted by remapped endpoints and ports assigned in insertion order, so
+// the same file always materializes the identical port-labeled graph (the
+// `file:` GraphSpec relies on this for replayability).
+//
+// Every parse error reports the source name and 1-based line number
+// ("path:line: what"); duplicate edges, self-loops, out-of-range nodes and
+// bad/duplicate/missing ports are all rejected.  Loaded graphs must be
+// connected (the paper's model assumes it).
 
 #include <iosfwd>
 #include <string>
@@ -16,9 +36,29 @@
 namespace disp {
 
 void writeGraph(std::ostream& os, const Graph& g);
-[[nodiscard]] Graph readGraph(std::istream& is);
+
+/// Reads the native "dpg" format.  `source` names the stream in errors.
+[[nodiscard]] Graph readGraph(std::istream& is,
+                              const std::string& source = "<stream>");
+
+/// Reads a plain edge list (see file header).
+[[nodiscard]] Graph readEdgeList(std::istream& is,
+                                 const std::string& source = "<stream>");
+
+/// Reads a Graphalytics vertex/edge file pair.
+[[nodiscard]] Graph readGraphalytics(std::istream& vs, std::istream& es,
+                                     const std::string& vSource = "<v-stream>",
+                                     const std::string& eSource = "<e-stream>");
 
 void saveGraph(const std::string& path, const Graph& g);
-[[nodiscard]] Graph loadGraph(const std::string& path);
+[[nodiscard]] Graph loadGraph(const std::string& path);      // dpg
+[[nodiscard]] Graph loadEdgeList(const std::string& path);
+/// Accepts `base`, `base.v` or `base.e`; loads the `.v`/`.e` pair.
+[[nodiscard]] Graph loadGraphalytics(const std::string& path);
+
+/// Format-sniffing loader (the `file:` GraphSpec entry point): a `.v`/`.e`
+/// extension selects the Graphalytics pair, a leading "dpg" magic selects
+/// the native format, anything else parses as a plain edge list.
+[[nodiscard]] Graph loadAnyGraph(const std::string& path);
 
 }  // namespace disp

@@ -40,20 +40,31 @@ double Cli::real(const std::string& key, double fallback) const {
   return std::stod(it->second);
 }
 
-std::vector<std::string> Cli::list(const std::string& key) const {
+namespace {
+
+std::vector<std::string> splitOn(const std::string& value, char sep) {
   std::vector<std::string> out;
-  const auto it = flags_.find(key);
-  if (it == flags_.end()) return out;
-  const std::string& value = it->second;
   std::string::size_type from = 0;
   while (from <= value.size()) {
-    const auto comma = value.find(',', from);
-    const auto to = comma == std::string::npos ? value.size() : comma;
+    const auto at = value.find(sep, from);
+    const auto to = at == std::string::npos ? value.size() : at;
     if (to > from) out.push_back(value.substr(from, to - from));
-    if (comma == std::string::npos) break;
-    from = comma + 1;
+    if (at == std::string::npos) break;
+    from = at + 1;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Cli::list(const std::string& key) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? std::vector<std::string>{} : splitOn(it->second, ',');
+}
+
+std::vector<std::string> Cli::specList(const std::string& key) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? std::vector<std::string>{} : splitOn(it->second, ';');
 }
 
 std::vector<std::uint64_t> Cli::u64list(const std::string& key) const {

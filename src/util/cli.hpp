@@ -19,6 +19,9 @@ class Cli {
   [[nodiscard]] double real(const std::string& key, double fallback) const;
   /// Comma-separated list value; empty vector when the flag is absent.
   [[nodiscard]] std::vector<std::string> list(const std::string& key) const;
+  /// Semicolon-separated list value (for workload specs, whose own
+  /// parameters use commas: --graphs='er;grid:rows=8,cols=8').
+  [[nodiscard]] std::vector<std::string> specList(const std::string& key) const;
   /// Comma-separated unsigned list (e.g. --seeds=1,2,3); empty when absent.
   /// Throws std::invalid_argument on non-numeric elements.
   [[nodiscard]] std::vector<std::uint64_t> u64list(const std::string& key) const;

@@ -9,6 +9,7 @@
 #include "algo/placement.hpp"
 #include "core/metrics.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -43,7 +44,7 @@ class AsyncRootedTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(AsyncRootedTest, Disperses) {
   const auto& [family, n, k, sched] = GetParam();
-  const Graph g = makeFamily({family, n, 77});
+  const Graph g = makeGraph(family, n, 77);
   RunOut run(g, k, sched, 3);
   EXPECT_TRUE(run.algo.dispersed()) << family << "/" << sched;
   EXPECT_TRUE(isDispersed(run.engine.positionsSnapshot()));
@@ -74,7 +75,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AsyncRooted, TinyKValues) {
   for (std::uint32_t k = 1; k <= 6; ++k) {
-    const Graph g = makeFamily({"er", 20, 5});
+    const Graph g = makeGraph("er", 20, 5);
     RunOut run(g, k, "uniform", k);
     EXPECT_TRUE(run.algo.dispersed()) << "k=" << k;
   }
@@ -106,7 +107,7 @@ TEST(AsyncRooted, ProbeIterationsLogarithmicOnStar) {
 TEST(AsyncRooted, EpochsNearKLogK) {
   // Epoch count grows like k·log k (the paper's headline): the ratio
   // epochs/(k·log2 k) must not grow as k doubles.
-  const Graph g = makeFamily({"er", 400, 13});
+  const Graph g = makeGraph("er", 400, 13);
   double prev = 0;
   for (std::uint32_t k : {32u, 64u, 128u}) {
     RunOut run(g, k, "round_robin", 6);
@@ -121,7 +122,7 @@ TEST(AsyncRooted, EpochsNearKLogK) {
 }
 
 TEST(AsyncRooted, MemoryLogarithmic) {
-  const Graph g = makeFamily({"er", 200, 15});
+  const Graph g = makeGraph("er", 200, 15);
   RunOut run(g, 128, "uniform", 8);
   ASSERT_TRUE(run.algo.dispersed());
   const auto w = BitWidths::forRun(4ULL * 128, g.maxDegree(), 128);
@@ -129,7 +130,7 @@ TEST(AsyncRooted, MemoryLogarithmic) {
 }
 
 TEST(AsyncRooted, DeterministicUnderRoundRobin) {
-  const Graph g = makeFamily({"grid", 49, 3});
+  const Graph g = makeGraph("grid", 49, 3);
   std::uint64_t first = 0;
   for (int rep = 0; rep < 2; ++rep) {
     RunOut run(g, 40, "round_robin", 11);
@@ -145,7 +146,7 @@ TEST(AsyncRooted, DeterministicUnderRoundRobin) {
 TEST(AsyncRooted, ManySchedulerSeeds) {
   // Interleaving fuzz: the uniform scheduler with different seeds produces
   // different activation orders; dispersion must hold for all of them.
-  const Graph g = makeFamily({"er", 40, 23});
+  const Graph g = makeGraph("er", 40, 23);
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     RunOut run(g, 32, "uniform", seed);
     EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;

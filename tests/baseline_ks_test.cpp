@@ -7,6 +7,7 @@
 #include "algo/placement.hpp"
 #include "core/metrics.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -26,7 +27,7 @@ class KsSyncTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(KsSyncTest, DispersesRooted) {
   const auto& [family, n, k] = GetParam();
-  const Graph g = makeFamily({family, n, 42});
+  const Graph g = makeGraph(family, n, 42);
   const Placement p = rootedPlacement(g, k, 0, 7);
   SyncEngine engine(g, p.positions, p.ids);
   KsSyncDispersion algo(engine);
@@ -100,7 +101,7 @@ TEST(KsSync, TimeLinearInKOnPath) {
 }
 
 TEST(KsSync, MemoryIsLogarithmic) {
-  const Graph g = makeFamily({"er", 128, 5});
+  const Graph g = makeGraph("er", 128, 5);
   const Placement p = rootedPlacement(g, 128, 0, 5);
   SyncEngine engine(g, p.positions, p.ids);
   KsSyncDispersion algo(engine);
@@ -137,7 +138,7 @@ class KsAsyncTest : public ::testing::TestWithParam<AsyncCase> {};
 
 TEST_P(KsAsyncTest, DispersesRootedUnderScheduler) {
   const auto& [family, n, k, sched] = GetParam();
-  const Graph g = makeFamily({family, n, 21});
+  const Graph g = makeGraph(family, n, 21);
   const Placement p = rootedPlacement(g, k, 0, 13);
   AsyncEngine engine(g, p.positions, p.ids, makeSchedulerByName(sched, k, 77));
   KsAsyncDispersion algo(engine);
@@ -175,7 +176,7 @@ TEST(KsAsync, SingleAgent) {
 
 TEST(KsAsync, DeterministicUnderRoundRobin) {
   // Same seed + round-robin scheduler => identical epoch counts.
-  const Graph g = makeFamily({"er", 40, 31});
+  const Graph g = makeGraph("er", 40, 31);
   std::uint64_t first = 0;
   for (int rep = 0; rep < 2; ++rep) {
     const Placement p = rootedPlacement(g, 40, 0, 9);
@@ -193,7 +194,7 @@ TEST(KsAsync, DeterministicUnderRoundRobin) {
 
 TEST(KsAsync, EpochsBoundedByEdgeWork) {
   // O(min{m, kΔ}) epochs with a moderate constant.
-  const Graph g = makeFamily({"er", 64, 3});
+  const Graph g = makeGraph("er", 64, 3);
   const std::uint32_t k = 64;
   const Placement p = rootedPlacement(g, k, 0, 3);
   AsyncEngine engine(g, p.positions, p.ids, makeShuffledSweepScheduler(k, 5));

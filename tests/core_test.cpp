@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "algo/placement.hpp"
 #include "core/async_engine.hpp"
@@ -13,6 +14,9 @@
 #include "core/scheduler.hpp"
 #include "core/sync_engine.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/spec.hpp"
+#include "util/rng.hpp"
 
 namespace disp {
 namespace {
@@ -327,14 +331,14 @@ TEST(Placement, RootedAllOnRoot) {
 }
 
 TEST(Placement, ClusteredUsesExactlyLClusters) {
-  const Graph g = makeFamily({"er", 40, 11});
+  const Graph g = makeGraph("er", 40, 11);
   const auto p = clusteredPlacement(g, 20, 4, 17);
   std::set<NodeId> nodes(p.positions.begin(), p.positions.end());
   EXPECT_EQ(nodes.size(), 4u);
 }
 
 TEST(Placement, ScatteredIsDispersed) {
-  const Graph g = makeFamily({"er", 50, 19});
+  const Graph g = makeGraph("er", 50, 19);
   const auto p = scatteredPlacement(g, 30, 21);
   EXPECT_TRUE(isDispersed(p.positions));
 }
@@ -343,6 +347,126 @@ TEST(Placement, RejectsBadParameters) {
   const Graph g = makePath(5).build();
   EXPECT_THROW((void)rootedPlacement(g, 9, 0, 1), std::invalid_argument);   // k > n
   EXPECT_THROW((void)clusteredPlacement(g, 3, 9, 1), std::invalid_argument);  // l > k
+}
+
+// ---------------------------------------------------------- placement spec
+
+TEST(PlacementSpec, ParsePrintRoundTrip) {
+  // Canonical strings are fixpoints; defaults are elided.
+  for (const std::string canon :
+       {"rooted", "rooted:root=5", "clusters:l=8", "spread", "adversarial:far",
+        "adversarial:far,l=4", "adversarial:hot"}) {
+    EXPECT_EQ(PlacementSpec::parse(canon).toString(), canon);
+  }
+  EXPECT_EQ(PlacementSpec::parse("rooted:root=0").toString(), "rooted");
+  EXPECT_EQ(PlacementSpec::parse("clusters:l=02").toString(), "clusters:l=2");
+  EXPECT_EQ(PlacementSpec::parse("adversarial:far,l=2").toString(),
+            "adversarial:far");
+}
+
+// Round-trip fuzz across the whole grammar: any generated spelling must
+// reach a canonical fixpoint in one parse+print.
+TEST(PlacementSpec, RoundTripFuzz) {
+  Rng rng(0x5ca1ab1eULL);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    switch (rng.below(5)) {
+      case 0:
+        text = rng.chance(0.5) ? "rooted"
+                               : "rooted:root=" + std::to_string(rng.below(1000));
+        break;
+      case 1:
+        text = "clusters:l=" + std::to_string(1 + rng.below(64));
+        break;
+      case 2:
+        text = "spread";
+        break;
+      case 3:
+        text = rng.chance(0.5)
+                   ? "adversarial:far"
+                   : "adversarial:far,l=" + std::to_string(1 + rng.below(64));
+        break;
+      default:
+        text = "adversarial:hot";
+        break;
+    }
+    const std::string canon = PlacementSpec::parse(text).toString();
+    EXPECT_EQ(PlacementSpec::parse(canon).toString(), canon) << "from: " << text;
+  }
+}
+
+TEST(PlacementSpec, ParseRejectsUnknownKindsAndParams) {
+  for (const std::string bad :
+       {"cluster:l=2", "rooted:x=1", "clusters:l=abc", "adversarial:cold",
+        "adversarial", "spread:l=2", "clusters:l=0", ""}) {
+    EXPECT_THROW((void)PlacementSpec::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PlacementSpec, KindsMapToTheFreeFunctions) {
+  const Graph g = makeGraph("er", 40, 11);
+  const auto eq = [](const Placement& a, const Placement& b) {
+    EXPECT_EQ(a.positions, b.positions);
+    EXPECT_EQ(a.ids, b.ids);
+  };
+  eq(PlacementSpec::parse("rooted").place(g, 10, 7), rootedPlacement(g, 10, 0, 7));
+  eq(PlacementSpec::parse("rooted:root=3").place(g, 10, 7),
+     rootedPlacement(g, 10, 3, 7));
+  eq(PlacementSpec::parse("clusters:l=4").place(g, 10, 7),
+     clusteredPlacement(g, 10, 4, 7));
+  eq(PlacementSpec::parse("spread").place(g, 10, 7), scatteredPlacement(g, 10, 7));
+  eq(PlacementSpec::parse("adversarial:hot").place(g, 10, 7),
+     adversarialHotPlacement(g, 10, 7));
+  eq(PlacementSpec::parse("adversarial:far,l=3").place(g, 9, 7),
+     adversarialFarPlacement(g, 9, 3, 7));
+}
+
+TEST(PlacementSpec, TableLabelsMatchHistoricalClusterColumn) {
+  EXPECT_EQ(PlacementSpec::parse("rooted").tableLabel(), "1");
+  EXPECT_EQ(PlacementSpec::parse("clusters:l=8").tableLabel(), "8");
+  EXPECT_EQ(PlacementSpec::parse("spread").tableLabel(), "spread");
+  EXPECT_EQ(PlacementSpec::parse("adversarial:far").tableLabel(), "far:2");
+  EXPECT_EQ(PlacementSpec::parse("adversarial:hot").tableLabel(), "hot");
+}
+
+// The adversarial:far invariant (ISSUE satellite): with the default l = 2
+// the two centers sit a full diameter apart — in particular >= diameter/2.
+TEST(Placement, AdversarialFarSeparatesClustersByDiameter) {
+  for (const std::string spec :
+       {"path:n=40", "grid:rows=7,cols=7", "er:n=100", "randtree:n=80",
+        "cycle:n=30", "lollipop:n=40,clique=10"}) {
+    const Graph g = makeGraph(spec, 0, 13);
+    const std::uint32_t diam = diameter(g);
+    const Placement p = adversarialFarPlacement(g, 12, 2, 13);
+    std::set<NodeId> centers(p.positions.begin(), p.positions.end());
+    ASSERT_EQ(centers.size(), 2u) << spec;
+    const NodeId a = *centers.begin();
+    const NodeId b = *std::next(centers.begin());
+    const std::uint32_t dist = bfsDistances(g, a)[b];
+    EXPECT_EQ(dist, diam) << spec;  // far:2 achieves the full diameter
+    EXPECT_GE(dist, (diam + 1) / 2) << spec;
+    // Deterministic: same graph, any seed -> same centers.
+    const Placement q = adversarialFarPlacement(g, 12, 2, 999);
+    EXPECT_EQ(p.positions, q.positions) << spec;
+  }
+  // l = 4 on a grid: four pairwise-distinct, pairwise-remote centers.
+  const Graph g = makeGraph("grid:rows=8,cols=8", 0, 3);
+  const Placement p = adversarialFarPlacement(g, 16, 4, 3);
+  std::set<NodeId> centers(p.positions.begin(), p.positions.end());
+  EXPECT_EQ(centers.size(), 4u);
+}
+
+// The adversarial:hot invariant: every agent starts on an argmax-degree
+// node.
+TEST(Placement, AdversarialHotCoLocatesOnMaxDegreeNode) {
+  for (const std::string spec : {"star:n=30", "er:n=80", "wheel:n=20"}) {
+    const Graph g = makeGraph(spec, 0, 23);
+    const Placement p = adversarialHotPlacement(g, 10, 23);
+    ASSERT_FALSE(p.positions.empty());
+    const NodeId hub = p.positions.front();
+    EXPECT_EQ(g.degree(hub), g.maxDegree()) << spec;
+    for (const NodeId v : p.positions) EXPECT_EQ(v, hub) << spec;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "algo/empty_selection.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 #include "graph/graph_algos.hpp"
 #include "util/rng.hpp"
 
@@ -107,8 +108,8 @@ TEST(EmptySelection, CoverTypesNeverMix) {
 }
 
 TEST(EmptySelection, DfsTreesOfFamilies) {
-  for (const auto& family : knownFamilies()) {
-    const Graph g = makeFamily({family, 60, 9});
+  for (const auto& family : graphFamilyKeys()) {
+    const Graph g = makeGraph(family, 60, 9);
     const auto parentNodes = portOrderDfsTree(g, 0);
     std::vector<std::int64_t> parent(parentNodes.size());
     for (std::size_t v = 0; v < parentNodes.size(); ++v)

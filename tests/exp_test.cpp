@@ -7,11 +7,15 @@
 #include <sstream>
 #include <thread>
 
+#include <cstdlib>
+
 #include "algo/placement.hpp"
 #include "exp/batch_runner.hpp"
 #include "exp/sink.hpp"
 #include "exp/sweep.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/spec.hpp"
 
 namespace disp::exp {
 namespace {
@@ -34,11 +38,11 @@ BatchRunner runnerWith(unsigned threads) {
 SweepSpec smallSpec() {
   SweepSpec spec;
   spec.name = "test";
-  spec.families = {"er", "star"};
+  spec.graphs = {"er", "star"};
   spec.ks = {12, 24};
   spec.algorithms = {"rooted_sync", "ks_async",
                      "general_async"};
-  spec.clusterCounts = {1, 3};
+  spec.placements = {"rooted", "clusters:l=3"};
   spec.schedulers = {"round_robin", "uniform"};
   spec.seeds = {1, 2, 3};
   return spec;
@@ -49,16 +53,16 @@ TEST(Sweep, EnumeratesCellsInCanonicalOrder) {
   const auto keys = enumerateCells(spec);
   ASSERT_EQ(keys.size(), spec.cellCount());
   ASSERT_EQ(keys.size(), 2u * 2u * 3u * 2u * 2u);
-  // family ▸ k ▸ clusters ▸ scheduler ▸ algorithm.
-  EXPECT_EQ(keys[0].family, "er");
+  // graph ▸ k ▸ placement ▸ scheduler ▸ algorithm.
+  EXPECT_EQ(keys[0].graph, "er");
   EXPECT_EQ(keys[0].k, 12u);
-  EXPECT_EQ(keys[0].clusters, 1u);
+  EXPECT_EQ(keys[0].placement, "rooted");
   EXPECT_EQ(keys[0].scheduler, "round_robin");
   EXPECT_EQ(keys[0].algorithm, "rooted_sync");
   EXPECT_EQ(keys[1].algorithm, "ks_async");
   EXPECT_EQ(keys[3].scheduler, "uniform");
-  EXPECT_EQ(keys[6].clusters, 3u);
-  EXPECT_EQ(keys.back().family, "star");
+  EXPECT_EQ(keys[6].placement, "clusters:l=3");
+  EXPECT_EQ(keys.back().graph, "star");
   EXPECT_EQ(keys.back().k, 24u);
   EXPECT_EQ(keys.back().algorithm, "general_async");
 }
@@ -81,8 +85,12 @@ TEST(Sweep, ResultLookupThrowsOnMissingCell) {
   SweepSpec spec = smallSpec();
   spec.seeds = {1};
   const SweepResult res = runnerWith(1).run(spec);
-  EXPECT_THROW((void)res.at({"grid", 12, 1, "round_robin", "rooted_sync"}),
+  EXPECT_THROW((void)res.at({"grid", 12, "rooted", "round_robin", "rooted_sync"}),
                std::out_of_range);
+  // Lookups canonicalize spec strings first: any equivalent spelling of an
+  // existing cell resolves.
+  EXPECT_NO_THROW(
+      (void)res.at({"er", 12, "clusters:l=03", "round_robin", "rooted_sync"}));
 }
 
 TEST(BatchRunner, ParallelIsBitIdenticalToSerial) {
@@ -112,16 +120,16 @@ TEST(BatchRunner, ParallelIsBitIdenticalToSerial) {
 TEST(BatchRunner, MatchesDirectRunCellResults) {
   SweepSpec spec;
   spec.name = "direct";
-  spec.families = {"er"};
+  spec.graphs = {"er"};
   spec.ks = {16};
   spec.algorithms = {"general_sync"};
-  spec.clusterCounts = {4};
+  spec.placements = {"clusters:l=4"};
   spec.seeds = {7, 8};
   const SweepResult res = runnerWith(2).run(spec);
-  const Cell& cell = res.at({"er", 16, 4, "round_robin", "general_sync"});
+  const Cell& cell = res.at({"er", 16, "clusters:l=4", "round_robin", "general_sync"});
   for (std::size_t r = 0; r < spec.seeds.size(); ++r) {
     const RunRecord direct = runCell(
-        {"er", 16, "general_sync", 4, "round_robin", spec.seeds[r]});
+        {"er", 16, "general_sync", "clusters:l=4", "round_robin", spec.seeds[r]});
     expectSameRun(direct.run, cell.replicates[r].run,
                   "seed=" + std::to_string(spec.seeds[r]));
   }
@@ -130,7 +138,7 @@ TEST(BatchRunner, MatchesDirectRunCellResults) {
 TEST(BatchRunner, RecordsLimitErrorsInsteadOfThrowing) {
   SweepSpec spec;
   spec.name = "limited";
-  spec.families = {"er"};
+  spec.graphs = {"er"};
   spec.ks = {16};
   spec.algorithms = {"rooted_sync"};
   spec.seeds = {1, 2};
@@ -150,8 +158,8 @@ TEST(BatchRunner, RecordsLimitErrorsInsteadOfThrowing) {
 // concurrent runDispersion calls sharing immutable Graph instances must
 // produce exactly the per-seed results of serial runs.
 TEST(RunDispersion, ConcurrentRunsOnSharedGraphsAreBitIdentical) {
-  const Graph er = makeFamily({"er", 48, 42});
-  const Graph star = makeFamily({"star", 48, 42});
+  const Graph er = makeGraph("er", 48, 42);
+  const Graph star = makeGraph("star", 48, 42);
   struct Config {
     const Graph* g;
     std::string algo;
@@ -236,6 +244,134 @@ TEST(Jsonl, EscapesAndMirrorsTableRows) {
   EXPECT_EQ(jl.str(),
             "{\"sweep\": \"sweep_x\", \"table\": \"title y\", "
             "\"k\": \"8\", \"rounds\": \"42\"}\n");
+}
+
+TEST(Sweep, RejectsMalformedSpecAxesUpFront) {
+  SweepSpec spec = smallSpec();
+  spec.graphs = {"er", "nope:k=1"};
+  EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
+  spec = smallSpec();
+  spec.placements = {"cluster:l=3"};  // typo'd kind
+  EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
+}
+
+TEST(Sweep, ScaleRejectsMalformedEnvValue) {
+  const char* old = std::getenv("DISP_BENCH_SCALE");
+  const std::string saved = old ? old : "";
+  const auto restore = [&] {
+    if (old) {
+      ::setenv("DISP_BENCH_SCALE", saved.c_str(), 1);
+    } else {
+      ::unsetenv("DISP_BENCH_SCALE");
+    }
+  };
+  ::unsetenv("DISP_BENCH_SCALE");
+  EXPECT_EQ(scale(), 1.0);
+  ::setenv("DISP_BENCH_SCALE", "2", 1);
+  EXPECT_EQ(scale(), 2.0);
+  ::setenv("DISP_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(scale(), 0.5);
+  // std::atof would have silently mapped all of these to 0.0, collapsing
+  // every kSweep to the minimum; they must fail loudly instead.
+  // (An empty value counts as unset, like the shell's `DISP_BENCH_SCALE=`.)
+  ::setenv("DISP_BENCH_SCALE", "", 1);
+  EXPECT_EQ(scale(), 1.0);
+  for (const char* bad : {"abc", "0", "-1", "2x", "nan", "inf"}) {
+    ::setenv("DISP_BENCH_SCALE", bad, 1);
+    EXPECT_THROW((void)scale(), std::invalid_argument) << "value: " << bad;
+  }
+  restore();
+}
+
+// --shard=I/N semantics: the shards partition the canonical enumeration
+// disjointly, each executed cell is bit-identical to the unsharded run,
+// and onCellDone never fires for foreign cells.
+TEST(BatchRunner, ShardsPartitionCellsDeterministically) {
+  const SweepSpec spec = smallSpec();
+  const SweepResult full = runnerWith(1).run(spec);
+
+  std::vector<SweepResult> shards;
+  std::size_t streamed = 0;
+  for (unsigned i = 0; i < 3; ++i) {
+    BatchOptions options;
+    options.threads = 2;
+    options.shardIndex = i;
+    options.shardCount = 3;
+    options.onCellDone = [&streamed](const Cell& c) {
+      EXPECT_TRUE(c.ran());
+      ++streamed;
+    };
+    shards.push_back(BatchRunner(options).run(spec));
+  }
+
+  std::size_t ranTotal = 0;
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    std::size_t owners = 0;
+    for (const SweepResult& shard : shards) {
+      ASSERT_EQ(shard.cells[i].key, full.cells[i].key);
+      if (!shard.cells[i].ran()) continue;
+      ++owners;
+      ++ranTotal;
+      ASSERT_EQ(shard.cells[i].replicates.size(), full.cells[i].replicates.size());
+      for (std::size_t r = 0; r < full.cells[i].replicates.size(); ++r) {
+        expectSameRun(shard.cells[i].replicates[r].run,
+                      full.cells[i].replicates[r].run,
+                      full.cells[i].key.describe());
+      }
+      EXPECT_EQ(shard.cells[i].time.mean, full.cells[i].time.mean);
+    }
+    EXPECT_EQ(owners, 1u) << "cell " << i << " owned by " << owners << " shards";
+  }
+  EXPECT_EQ(ranTotal, full.cells.size());
+  EXPECT_EQ(streamed, full.cells.size());
+}
+
+TEST(BatchRunner, RejectsBadShard) {
+  BatchOptions options;
+  options.shardIndex = 2;
+  options.shardCount = 2;
+  EXPECT_THROW((void)BatchRunner(options).run(smallSpec()), std::invalid_argument);
+}
+
+// The acceptance check of the file: loader path: a generator graph saved
+// to disk and re-run through a file: spec must reproduce the generator
+// cell's facts exactly (dpg archives the port labeling bit-for-bit).
+TEST(BatchRunner, FileSpecReproducesGeneratorCellExactly) {
+  const std::uint64_t seed = 7;
+  const std::uint32_t k = 16;
+  CaseSpec gen;
+  gen.graph = "er";
+  gen.k = k;
+  gen.algorithm = "general_sync";
+  gen.placement = "clusters:l=4";
+  gen.seed = seed;
+  const RunRecord a = runCell(gen);
+
+  // Save the exact graph the generator cell used (n = 2k, same seed).
+  const Graph g = makeGraph("er", 2 * k, seed);
+  const std::string path = ::testing::TempDir() + "exp_file_parity.dpg";
+  saveGraph(path, g);
+
+  CaseSpec viaFile = gen;
+  viaFile.graph = "file:" + path;
+  const RunRecord b = runCell(viaFile);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.maxDegree, b.maxDegree);
+  expectSameRun(a.run, b.run, "file: parity");
+
+  // And the batch path shares one loaded instance across seeds while
+  // producing the same per-seed records.
+  SweepSpec spec;
+  spec.name = "file";
+  spec.graphs = {"file:" + path};
+  spec.ks = {k};
+  spec.algorithms = {"general_sync"};
+  spec.placements = {"clusters:l=4"};
+  spec.seeds = {seed, seed + 1};
+  const SweepResult res = runnerWith(2).run(spec);
+  const Cell& cell = res.cells.front();
+  expectSameRun(cell.replicates[0].run, a.run, "batch file: seed 7");
 }
 
 TEST(BenchContext, SeedsOrFallsBackToHistoricalSeed) {

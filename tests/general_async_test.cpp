@@ -11,6 +11,7 @@
 #include "algo/placement.hpp"
 #include "core/metrics.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -48,7 +49,7 @@ class GeneralAsyncTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(GeneralAsyncTest, DispersesWithDistinctFinalNodes) {
   const auto& [family, n, k, clusters, sched] = GetParam();
-  const Graph g = makeFamily({family, n, 77});
+  const Graph g = makeGraph(family, n, 77);
   RunOut run(g, k, clusters, sched, 3);
   EXPECT_TRUE(run.algo.dispersed()) << family << "/" << sched;
   auto pos = run.engine.positionsSnapshot();
@@ -76,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GeneralAsync, TinyKAndEveryClusterCount) {
   for (std::uint32_t k = 1; k <= 6; ++k) {
     for (std::uint32_t l = 1; l <= k; ++l) {
-      const Graph g = makeFamily({"er", 20, 5});
+      const Graph g = makeGraph("er", 20, 5);
       RunOut run(g, k, l, "uniform", k + l);
       EXPECT_TRUE(run.algo.dispersed()) << "k=" << k << " l=" << l;
     }
@@ -86,7 +87,7 @@ TEST(GeneralAsync, TinyKAndEveryClusterCount) {
 TEST(GeneralAsync, ScatteredPlacementTerminatesPromptly) {
   // Already-dispersed start: every singleton group settles its only agent
   // in place and the run must finish without a single group move.
-  const Graph g = makeFamily({"grid", 49, 7});
+  const Graph g = makeGraph("grid", 49, 7);
   const Placement p = scatteredPlacement(g, 30, 11);
   AsyncEngine engine(g, p.positions, p.ids, makeSchedulerByName("shuffled", 30, 9));
   GeneralAsyncDispersion algo(engine);
@@ -100,7 +101,7 @@ TEST(GeneralAsync, ScatteredPlacementTerminatesPromptly) {
 TEST(GeneralAsync, SubsumptionFiresWhenTreesCollide) {
   // k = n with several clusters on a small graph: trees must meet, and the
   // meetings must resolve by subsumption (collapse or self-collapse+march).
-  const Graph g = makeFamily({"path", 36, 13});
+  const Graph g = makeGraph("path", 36, 13);
   RunOut run(g, 36, 4, "uniform", 5);
   ASSERT_TRUE(run.algo.dispersed());
   EXPECT_GT(run.algo.stats().meetings, 0u);
@@ -153,7 +154,7 @@ TEST(GeneralAsync, RescanMeetingIsNotDiscarded) {
   // probeMet_ and exiting at once on the exhausted `checked` counter, so
   // the group rescanned forever and the engine hit its activation cap.
   // This configuration reproduced the livelock under every scheduler.
-  const Graph g = makeFamily({"randtree", 40, 13});
+  const Graph g = makeGraph("randtree", 40, 13);
   for (const char* sched : {"round_robin", "shuffled", "uniform", "weighted"}) {
     const Placement p = clusteredPlacement(g, 32, 3, 113);
     AsyncEngine engine(g, p.positions, p.ids, makeSchedulerByName(sched, 32, 13));
@@ -166,7 +167,7 @@ TEST(GeneralAsync, RescanMeetingIsNotDiscarded) {
 
 TEST(GeneralAsync, ManySchedulerSeeds) {
   // Interleaving fuzz: dispersion must hold across activation orders.
-  const Graph g = makeFamily({"er", 40, 23});
+  const Graph g = makeGraph("er", 40, 23);
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     RunOut run(g, 32, 4, "uniform", seed);
     EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;
@@ -176,7 +177,7 @@ TEST(GeneralAsync, ManySchedulerSeeds) {
 TEST(GeneralAsync, EpochsNearKLogK) {
   // Epoch count grows like k·log k (Theorem 8.2's headline): the ratio
   // epochs/(k·log2 k) must not blow up as k doubles.
-  const Graph g = makeFamily({"er", 400, 13});
+  const Graph g = makeGraph("er", 400, 13);
   double prev = 0;
   for (std::uint32_t k : {32u, 64u, 128u}) {
     RunOut run(g, k, 4, "round_robin", 6);
@@ -191,7 +192,7 @@ TEST(GeneralAsync, EpochsNearKLogK) {
 }
 
 TEST(GeneralAsync, MemoryLogarithmic) {
-  const Graph g = makeFamily({"er", 200, 15});
+  const Graph g = makeGraph("er", 200, 15);
   RunOut run(g, 128, 8, "uniform", 8);
   ASSERT_TRUE(run.algo.dispersed());
   const auto w = BitWidths::forRun(4ULL * 128, g.maxDegree(), 128);
@@ -199,7 +200,7 @@ TEST(GeneralAsync, MemoryLogarithmic) {
 }
 
 TEST(GeneralAsync, DeterministicUnderRoundRobin) {
-  const Graph g = makeFamily({"grid", 49, 3});
+  const Graph g = makeGraph("grid", 49, 3);
   std::uint64_t firstEpochs = 0, firstMoves = 0;
   for (int rep = 0; rep < 2; ++rep) {
     RunOut run(g, 40, 4, "round_robin", 11);

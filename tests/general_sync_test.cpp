@@ -9,6 +9,7 @@
 #include "algo/placement.hpp"
 #include "core/metrics.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -42,7 +43,7 @@ class GeneralSyncTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(GeneralSyncTest, Disperses) {
   const auto& [family, n, k, clusters] = GetParam();
-  const Graph g = makeFamily({family, n, 51});
+  const Graph g = makeGraph(family, n, 51);
   RunOut run(g, k, clusters, 13);
   EXPECT_TRUE(run.algo.dispersed()) << family << " l=" << clusters;
   EXPECT_TRUE(isDispersed(run.engine.positionsSnapshot()));
@@ -62,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(
     caseName);
 
 TEST(GeneralSync, AlreadyDispersedConfigurationTerminatesImmediately) {
-  const Graph g = makeFamily({"er", 50, 7});
+  const Graph g = makeGraph("er", 50, 7);
   const Placement p = scatteredPlacement(g, 30, 5);
   SyncEngine engine(g, p.positions, p.ids);
   GeneralSyncDispersion algo(engine);
@@ -104,7 +105,7 @@ TEST(GeneralSync, MeetingsHappenWhenGroupsCollide) {
 TEST(GeneralSync, RootedModeIsKLogKShaped) {
   // ℓ = 1: the helper-doubling baseline.  epochs/(k log k) must stay
   // roughly flat as k doubles (this is the Sudo-style bound).
-  const Graph g = makeFamily({"er", 500, 3});
+  const Graph g = makeGraph("er", 500, 3);
   double prev = 0;
   for (std::uint32_t k : {64u, 128u, 256u}) {
     const Placement p = rootedPlacement(g, k, 0, 5);
@@ -124,14 +125,14 @@ TEST(GeneralSync, RootedModeIsKLogKShaped) {
 
 TEST(GeneralSync, ManySeeds) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const Graph g = makeFamily({"er", 48, seed});
+    const Graph g = makeGraph("er", 48, seed);
     RunOut run(g, 36, 3, seed);
     EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;
   }
 }
 
 TEST(GeneralSync, ClusterSweepOnOneGraph) {
-  const Graph g = makeFamily({"er", 60, 17});
+  const Graph g = makeGraph("er", 60, 17);
   for (std::uint32_t l : {1u, 2u, 3u, 5u, 8u, 16u, 40u}) {
     RunOut run(g, 40, l, 23);
     EXPECT_TRUE(run.algo.dispersed()) << "l=" << l;
@@ -147,14 +148,14 @@ TEST(GeneralSync, Seed3GridFrozenAbsorbRegression) {
   // surviving group waited on them forever.  absorbMarchers now refuses to
   // absorb while frozen/dissolved (the §4.7 junction-locking discipline;
   // DESIGN.md §4.7) and the marchers re-route to the eventual winner.
-  const Graph g = makeFamily({"grid", 128, 3});
+  const Graph g = makeGraph("grid", 128, 3);
   RunOut run(g, 64, 8, 3);
   EXPECT_TRUE(run.algo.dispersed());
   EXPECT_EQ(run.engine.settledCount(), 64u);
 }
 
 TEST(GeneralSync, MemoryLogarithmic) {
-  const Graph g = makeFamily({"er", 120, 29});
+  const Graph g = makeGraph("er", 120, 29);
   RunOut run(g, 96, 4, 7);
   ASSERT_TRUE(run.algo.dispersed());
   const auto w = BitWidths::forRun(4ULL * 96, g.maxDegree(), 96);

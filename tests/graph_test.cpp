@@ -1,11 +1,17 @@
-// Tests for the graph substrate: CSR integrity, generators, port labelings
-// (including the §8.2 constrained labeling), I/O round-trips, algorithms.
+// Tests for the graph substrate: CSR integrity, generators, the parsed
+// GraphSpec grammar + family registry, port labelings (including the §8.2
+// constrained labeling), file I/O (dpg / edge-list / Graphalytics, with
+// path:line error context), algorithms.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
 #include <sstream>
 
+#include "util/rng.hpp"
+
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_algos.hpp"
 #include "graph/graph_io.hpp"
@@ -72,7 +78,7 @@ class FamilyTest : public ::testing::TestWithParam<FamilyCase> {};
 
 TEST_P(FamilyTest, ConnectedAndValid) {
   const auto& [family, n] = GetParam();
-  const Graph g = makeFamily({family, n, /*seed=*/12345});
+  const Graph g = makeGraph(family, n, /*seed=*/12345);
   EXPECT_GE(g.nodeCount(), 2u) << family;
   EXPECT_TRUE(isConnected(g)) << family;
   EXPECT_NO_THROW(validateGraph(g)) << family;
@@ -80,8 +86,8 @@ TEST_P(FamilyTest, ConnectedAndValid) {
 
 TEST_P(FamilyTest, RandomLabelingPreservesStructure) {
   const auto& [family, n] = GetParam();
-  const Graph a = makeFamily({family, n, 7, PortLabeling::InsertionOrder});
-  const Graph b = makeFamily({family, n, 7, PortLabeling::RandomPermutation});
+  const Graph a = makeGraph(family, n, 7, PortLabeling::InsertionOrder);
+  const Graph b = makeGraph(family, n, 7, PortLabeling::RandomPermutation);
   EXPECT_EQ(a.nodeCount(), b.nodeCount());
   EXPECT_EQ(a.edgeCount(), b.edgeCount());
   for (NodeId v = 0; v < a.nodeCount(); ++v) {
@@ -168,7 +174,7 @@ TEST(Generators, BarbellShape) {
 TEST(Generators, BadParamsThrow) {
   EXPECT_THROW((void)makeCycle(2), std::invalid_argument);
   EXPECT_THROW((void)makeRandomRegular(9, 3, 1), std::invalid_argument);  // odd n*d
-  EXPECT_THROW((void)makeFamily({"nope", 10, 0}), std::invalid_argument);
+  EXPECT_THROW((void)makeGraph("nope", 10, 0), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- labelings
@@ -186,7 +192,7 @@ class ConstrainedLabelingTest : public ::testing::TestWithParam<FamilyCase> {};
 
 TEST_P(ConstrainedLabelingTest, SatisfiesSection82) {
   const auto& [family, n] = GetParam();
-  const Graph g = makeFamily({family, n, 31337, PortLabeling::Constrained});
+  const Graph g = makeGraph(family, n, 31337, PortLabeling::Constrained);
   EXPECT_TRUE(satisfiesConstrainedLabeling(g)) << family;
   EXPECT_NO_THROW(validateGraph(g));
 }
@@ -228,7 +234,7 @@ TEST(Labeling, RandomLabelingUsuallyViolatesConstraint) {
 // ------------------------------------------------------------------- io
 
 TEST(GraphIo, RoundTripPreservesPorts) {
-  const Graph g = makeFamily({"er", 50, 77, PortLabeling::RandomPermutation});
+  const Graph g = makeGraph("er", 50, 77, PortLabeling::RandomPermutation);
   std::stringstream ss;
   writeGraph(ss, g);
   const Graph h = readGraph(ss);
@@ -243,9 +249,297 @@ TEST(GraphIo, RoundTripPreservesPorts) {
   }
 }
 
+// Asserts that parsing fails and the error names source:line (the
+// satellite requirement: loader errors must be actionable).
+template <typename Fn>
+void expectParseError(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
 TEST(GraphIo, RejectsGarbage) {
   std::stringstream ss("not a graph");
-  EXPECT_THROW((void)readGraph(ss), std::invalid_argument);
+  expectParseError([&] { (void)readGraph(ss, "bad.dpg"); }, "bad.dpg:1");
+}
+
+TEST(GraphIo, DpgErrorsNameSourceAndLine) {
+  // Duplicate edge on line 3.
+  std::stringstream dup("dpg 3 3\n0 1 1 1\n1 2 0 1\n");
+  expectParseError([&] { (void)readGraph(dup, "x.dpg"); },
+                   "x.dpg:3: duplicate edge 1-0");
+  // Port 0 is out of range (ports are 1-based; degree is implied by the
+  // max port, so 0 is the only possible out-of-range value).
+  std::stringstream badPort("dpg 3 2\n0 1 1 0\n0 2 2 1\n");
+  expectParseError([&] { (void)readGraph(badPort, "y.dpg"); },
+                   "y.dpg:2: port 0 out of range");
+  // A port above the edge count leaves lower ports missing.
+  std::stringstream gapPort("dpg 3 2\n0 1 1 3\n0 2 2 1\n");
+  expectParseError([&] { (void)readGraph(gapPort, "y2.dpg"); },
+                   "node 1 is missing port 1");
+  // Duplicate port at one node.
+  std::stringstream dupPort("dpg 3 2\n0 1 1 1\n0 1 2 1\n");
+  expectParseError([&] { (void)readGraph(dupPort, "z.dpg"); },
+                   "z.dpg:3: duplicate port 1 at node 0");
+  // Truncated file: header promises 3 edges, body has 1.
+  std::stringstream trunc("dpg 3 3\n0 1 1 1\n");
+  expectParseError([&] { (void)readGraph(trunc, "t.dpg"); }, "t.dpg: truncated");
+  // Node out of range.
+  std::stringstream range("dpg 2 1\n0 1 7 1\n");
+  expectParseError([&] { (void)readGraph(range, "r.dpg"); }, "r.dpg:2: node out of range");
+}
+
+TEST(GraphIo, LoadGraphNamesPathOnMissingFile) {
+  expectParseError([] { (void)loadGraph("/nonexistent/g.dpg"); },
+                   "/nonexistent/g.dpg");
+}
+
+// ------------------------------------------------------------- edge lists
+
+TEST(GraphIo, EdgeListParsesCommentsAndSparseIds) {
+  std::stringstream ss(
+      "# a 4-cycle with a chord, sparse ids\n"
+      "% percent comments too\n"
+      "10 20\n"
+      "20 400\n"
+      "400 7\n"
+      "7 10\n"
+      "\n"
+      "10 400\n");
+  const Graph g = readEdgeList(ss, "tiny.el");
+  EXPECT_EQ(g.nodeCount(), 4u);  // ids {7,10,20,400} -> 0..3
+  EXPECT_EQ(g.edgeCount(), 5u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_NO_THROW(validateGraph(g));
+  // Sorted-id remap: id 7 -> node 0 (degree 2), id 400 -> node 3 (degree 3).
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(GraphIo, EdgeListIsDeterministic) {
+  const auto load = [](const std::string& text) {
+    std::stringstream ss(text);
+    return readEdgeList(ss, "x.el");
+  };
+  // Same edges, different line order -> identical ports.
+  const Graph a = load("0 1\n1 2\n2 3\n3 0\n");
+  const Graph b = load("3 0\n2 3\n0 1\n1 2\n");
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  for (NodeId v = 0; v < a.nodeCount(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    for (Port p = 1; p <= a.degree(v); ++p) {
+      EXPECT_EQ(a.neighbor(v, p), b.neighbor(v, p));
+      EXPECT_EQ(a.reversePort(v, p), b.reversePort(v, p));
+    }
+  }
+}
+
+TEST(GraphIo, EdgeListErrorsNameSourceAndLine) {
+  std::stringstream selfLoop("0 1\n2 2\n");
+  expectParseError([&] { (void)readEdgeList(selfLoop, "a.el"); },
+                   "a.el:2: self-loop");
+  std::stringstream dup("0 1\n1 2\n# c\n1 0\n");
+  expectParseError([&] { (void)readEdgeList(dup, "b.el"); },
+                   "b.el:4: duplicate edge");
+  std::stringstream arity("0 1 2\n");
+  expectParseError([&] { (void)readEdgeList(arity, "c.el"); }, "c.el:1");
+  std::stringstream alpha("0 x\n");
+  expectParseError([&] { (void)readEdgeList(alpha, "d.el"); },
+                   "d.el:1: non-numeric node id 'x'");
+  std::stringstream disconnected("0 1\n2 3\n");
+  expectParseError([&] { (void)readEdgeList(disconnected, "e.el"); },
+                   "e.el: graph is not connected");
+  std::stringstream empty("# nothing\n");
+  expectParseError([&] { (void)readEdgeList(empty, "f.el"); }, "f.el: no edges");
+}
+
+// ------------------------------------------------------------ graphalytics
+
+TEST(GraphIo, GraphalyticsPairMapsVertexFileOrder) {
+  std::stringstream vs("100\n200\n300\n400\n");
+  std::stringstream es("100 200 1.5\n200 300\n300 400 0.25\n400 100\n");
+  const Graph g = readGraphalytics(vs, es, "t.v", "t.e");
+  EXPECT_EQ(g.nodeCount(), 4u);
+  EXPECT_EQ(g.edgeCount(), 4u);
+  EXPECT_TRUE(isConnected(g));
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(GraphIo, GraphalyticsErrorsNameSourceAndLine) {
+  {
+    std::stringstream vs("100\n100\n");
+    std::stringstream es("");
+    expectParseError([&] { (void)readGraphalytics(vs, es, "v.v", "v.e"); },
+                     "v.v:2: duplicate vertex id 100");
+  }
+  {
+    std::stringstream vs("1\n2\n");
+    std::stringstream es("1 9\n");
+    expectParseError([&] { (void)readGraphalytics(vs, es, "w.v", "w.e"); },
+                     "w.e:1: unknown vertex id '9'");
+  }
+  {
+    std::stringstream vs("1\n2\n3\n");
+    std::stringstream es("1 2\n1 2\n");
+    expectParseError([&] { (void)readGraphalytics(vs, es, "x.v", "x.e"); },
+                     "x.e:2: duplicate edge");
+  }
+}
+
+TEST(GraphIo, FixtureFilesLoadThroughSniffer) {
+  const std::string dir = std::string(DISP_SOURCE_DIR) + "/tests/data/";
+  const Graph el = loadAnyGraph(dir + "tiny.el");
+  EXPECT_EQ(el.nodeCount(), 16u);
+  EXPECT_TRUE(isConnected(el));
+  EXPECT_NO_THROW(validateGraph(el));
+
+  // Either half of the .v/.e pair addresses the same graph.
+  const Graph viaV = loadAnyGraph(dir + "tiny.v");
+  const Graph viaE = loadAnyGraph(dir + "tiny.e");
+  EXPECT_EQ(viaV.nodeCount(), 10u);
+  EXPECT_EQ(viaV.nodeCount(), viaE.nodeCount());
+  EXPECT_EQ(viaV.edgeCount(), viaE.edgeCount());
+  EXPECT_TRUE(isConnected(viaV));
+
+  // dpg sniffing: save a generator graph, reload through loadAnyGraph.
+  const Graph er = makeGraph("er", 40, 11);
+  const std::string path = ::testing::TempDir() + "sniff.dpg";
+  saveGraph(path, er);
+  const Graph back = loadAnyGraph(path);
+  EXPECT_EQ(back.nodeCount(), er.nodeCount());
+  EXPECT_EQ(back.edgeCount(), er.edgeCount());
+}
+
+// -------------------------------------------------------------- GraphSpec
+
+TEST(GraphSpec, LegacyFamilyNamesAreAliases) {
+  for (const std::string& family : graphFamilyKeys()) {
+    const GraphSpec spec = GraphSpec::parse(family);
+    EXPECT_EQ(spec.family(), family);
+    EXPECT_EQ(spec.toString(), family);
+    EXPECT_FALSE(spec.isFile());
+    EXPECT_FALSE(spec.sizeBound());  // bare aliases take their size from context
+  }
+}
+
+TEST(GraphSpec, ExplicitParametersDriveGenerators) {
+  const Graph grid = makeGraph("grid:rows=4,cols=5", 0, 1,
+                               PortLabeling::InsertionOrder);
+  EXPECT_EQ(grid.nodeCount(), 20u);
+  EXPECT_EQ(grid.maxDegree(), 4u);
+
+  const Graph er = makeGraph("er:n=64,p=0.2", 0, 3);
+  EXPECT_EQ(er.nodeCount(), 64u);
+  EXPECT_TRUE(isConnected(er));
+
+  const Graph lolly = makeGraph("lollipop:n=32,clique=8", 0, 1);
+  EXPECT_EQ(lolly.nodeCount(), 32u);
+
+  // n= pins the size regardless of the context argument.
+  EXPECT_EQ(makeGraph("path:n=9", 50, 1).nodeCount(), 9u);
+  EXPECT_TRUE(GraphSpec::parse("grid:rows=4,cols=5").sizeBound());
+  EXPECT_TRUE(GraphSpec::parse("er:n=64").sizeBound());
+  EXPECT_FALSE(GraphSpec::parse("er:p=0.1").sizeBound());
+}
+
+TEST(GraphSpec, ParseRejectsMalformedSpecs) {
+  expectParseError([] { (void)GraphSpec::parse("nope"); }, "unknown graph family");
+  expectParseError([] { (void)GraphSpec::parse("er:q=1"); }, "no parameter 'q'");
+  expectParseError([] { (void)GraphSpec::parse("er:n=abc"); }, "not a number");
+  // strtod-accepted forms that are not plain integers must fail at use, not
+  // silently truncate ("1e3" -> 1).
+  expectParseError([] { (void)makeGraph("er:n=1e3", 0, 1); },
+                   "not a 32-bit unsigned integer");
+  expectParseError([] { (void)makeGraph("grid:rows=1e1,cols=10", 0, 1); },
+                   "not a 32-bit unsigned integer");
+  expectParseError([] { (void)GraphSpec::parse("er:n"); }, "not key=value");
+  expectParseError([] { (void)GraphSpec::parse("er:n=1,n=2"); }, "duplicate");
+  expectParseError([] { (void)GraphSpec::parse("grid:rows=4"); },
+                   "must be given together");
+  expectParseError([] { (void)GraphSpec::parse("file:"); }, "needs a path");
+  expectParseError([] { (void)GraphSpec::parse(""); }, "empty spec");
+}
+
+TEST(GraphSpec, CanonicalFormSortsAndNormalizes) {
+  EXPECT_EQ(GraphSpec::parse("grid:rows=08,cols=4").toString(),
+            "grid:cols=4,rows=8");
+  EXPECT_EQ(GraphSpec::parse("er:p=0.25,n=64").toString(), "er:n=64,p=0.25");
+  EXPECT_EQ(GraphSpec::parse("file:/data/g.e").toString(), "file:/data/g.e");
+}
+
+TEST(GraphSpec, InstanceKeyTracksWhatTheSpecConsumes) {
+  const GraphSpec unbound = GraphSpec::parse("er");
+  EXPECT_NE(unbound.instanceKey(64, 1), unbound.instanceKey(128, 1));
+  EXPECT_NE(unbound.instanceKey(64, 1), unbound.instanceKey(64, 2));
+  const GraphSpec pinned = GraphSpec::parse("grid:rows=8,cols=8");
+  EXPECT_EQ(pinned.instanceKey(64, 1), pinned.instanceKey(128, 1));  // no context n
+  EXPECT_NE(pinned.instanceKey(64, 1), pinned.instanceKey(64, 2));   // labeling seed
+  const GraphSpec file = GraphSpec::parse("file:x.el");
+  EXPECT_EQ(file.instanceKey(64, 1), file.instanceKey(128, 2));  // fully pinned
+}
+
+// parse ↔ print round-trip fuzz over the whole registry: random parameter
+// subsets in random order must reach a canonical fixpoint.
+TEST(GraphSpec, RoundTripFuzz) {
+  Rng rng(20260729);
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto& defs = graphFamilyRegistry();
+    const GraphFamilyDef& def = defs[rng.below(defs.size())];
+    std::vector<std::string> parts;
+    const bool useSizeGroup = !def.sizeParams.empty() && rng.chance(0.5);
+    for (const std::string& param : def.params) {
+      const bool isSize = std::find(def.sizeParams.begin(), def.sizeParams.end(),
+                                    param) != def.sizeParams.end();
+      if (isSize ? useSizeGroup : rng.chance(0.5)) {
+        const std::string value =
+            param == "p" ? "0.25" : std::to_string(1 + rng.below(512));
+        parts.push_back(param + "=" + value);
+      }
+    }
+    if (rng.chance(0.5)) parts.push_back("n=" + std::to_string(8 + rng.below(1024)));
+    rng.shuffle(parts);
+    std::string text = def.key;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      text += (i == 0 ? ":" : ",") + parts[i];
+    }
+    const std::string canon = GraphSpec::parse(text).toString();
+    EXPECT_EQ(GraphSpec::parse(canon).toString(), canon) << "from: " << text;
+    EXPECT_EQ(GraphSpec::parse(canon).family(), def.key);
+  }
+}
+
+TEST(GraphSpec, RegisterGraphFamilyExtensionPoint) {
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    registerGraphFamily(
+        {"doublestar",
+         "two stars joined at their hubs (test-only)",
+         {"left"},
+         {},
+         [](const GraphSpec& s, std::uint32_t n, std::uint64_t) {
+           const std::uint32_t left = s.u32("left", n / 2);
+           GraphBuilder b(n);
+           for (std::uint32_t i = 2; i < n; ++i) b.addEdge(i < left ? 0 : 1, i);
+           b.addEdge(0, 1);
+           return b;
+         }});
+  }
+  const Graph g = makeGraph("doublestar:left=6", 12, 5);
+  EXPECT_EQ(g.nodeCount(), 12u);
+  EXPECT_TRUE(isConnected(g));
+  // Duplicate / reserved keys are rejected.
+  EXPECT_THROW(registerGraphFamily({"doublestar", "", {}, {}, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(registerGraphFamily(
+                   {"file", "", {}, {},
+                    [](const GraphSpec&, std::uint32_t n, std::uint64_t) {
+                      return GraphBuilder(n);
+                    }}),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------ algorithms
@@ -270,7 +564,7 @@ TEST(GraphAlgos, PeripheralNodeOnPathIsEndpoint) {
 }
 
 TEST(GraphAlgos, PortOrderDfsSpans) {
-  const Graph g = makeFamily({"er", 40, 3});
+  const Graph g = makeGraph("er", 40, 3);
   const auto parent = portOrderDfsTree(g, 0);
   for (NodeId v = 0; v < g.nodeCount(); ++v) {
     EXPECT_NE(parent[v], kInvalidNode) << "unreached node " << v;

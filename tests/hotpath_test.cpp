@@ -15,6 +15,7 @@
 #include "algo/runner.hpp"
 #include "core/world.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -94,17 +95,17 @@ void fuzzWorld(const Graph& g, std::uint32_t k, std::uint32_t steps,
 }
 
 TEST(WorldOccupancyFuzz, DenseGraphManyCollisions) {
-  const Graph g = makeFamily({"complete", 12, 3});
+  const Graph g = makeGraph("complete", 12, 3);
   fuzzWorld(g, 12, 6000, 7, 0xfeedULL);
 }
 
 TEST(WorldOccupancyFuzz, SparsePathLongChains) {
-  const Graph g = makeFamily({"path", 40, 5});
+  const Graph g = makeGraph("path", 40, 5);
   fuzzWorld(g, 25, 6000, 13, 0xbeefULL);
 }
 
 TEST(WorldOccupancyFuzz, ErMidDensityEveryStepChecked) {
-  const Graph g = makeFamily({"er", 64, 11});
+  const Graph g = makeGraph("er", 64, 11);
   // querySkip=1: the sorted views are validated after every single move,
   // so the log-replay path (small pending batches) is covered too.
   fuzzWorld(g, 48, 2500, 1, 0x1234ULL);
@@ -113,7 +114,7 @@ TEST(WorldOccupancyFuzz, ErMidDensityEveryStepChecked) {
 TEST(WorldOccupancyFuzz, BurstyGroupMoves) {
   // Group bursts: many agents funneled through the same node, stressing
   // log overflow -> full rebuild -> reverse-detection.
-  const Graph g = makeFamily({"star", 24, 9});
+  const Graph g = makeGraph("star", 24, 9);
   fuzzWorld(g, 24, 8000, 11, 0x5eedULL);
 }
 
@@ -147,7 +148,7 @@ constexpr EpochCase kEpochCases[] = {
 
 TEST(AsyncEpochRegression, EpochStampAccountingMatchesPinnedValues) {
   for (const EpochCase& c : kEpochCases) {
-    const Graph g = makeFamily({c.family, 2 * c.k, c.seed});
+    const Graph g = makeGraph(c.family, 2 * c.k, c.seed);
     const Placement p = c.clusters == 1
                             ? rootedPlacement(g, c.k, 0, c.seed)
                             : clusteredPlacement(g, c.k, c.clusters, c.seed);

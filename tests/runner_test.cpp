@@ -9,6 +9,7 @@
 
 #include "algo/runner.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -27,7 +28,7 @@ Placement placementFor(const Graph& g, Algorithm algo, std::uint32_t k,
 }
 
 TEST(Runner, AllAlgorithmsDisperseRooted) {
-  const Graph g = makeFamily({"er", 64, 5});
+  const Graph g = makeGraph("er", 64, 5);
   for (const Algorithm algo : kAllAlgorithms) {
     const Placement p = rootedPlacement(g, 48, 0, 3);
     const RunResult r = runDispersion(g, p, {algo, "round_robin", 7});
@@ -39,7 +40,7 @@ TEST(Runner, AllAlgorithmsDisperseRooted) {
 }
 
 TEST(Runner, SmallKFallsBackToBaseline) {
-  const Graph g = makeFamily({"star", 20, 1});
+  const Graph g = makeGraph("star", 20, 1);
   for (std::uint32_t k = 1; k <= 6; ++k) {
     const Placement p = rootedPlacement(g, k, 0, k);
     const RunResult r = runDispersion(g, p, {Algorithm::RootedSync});
@@ -48,7 +49,7 @@ TEST(Runner, SmallKFallsBackToBaseline) {
 }
 
 TEST(Runner, GeneralSyncHandlesClusters) {
-  const Graph g = makeFamily({"grid", 64, 9});
+  const Graph g = makeGraph("grid", 64, 9);
   for (std::uint32_t l : {1u, 2u, 4u, 8u}) {
     const Placement p = clusteredPlacement(g, 48, l, 11);
     const RunResult r = runDispersion(g, p, {Algorithm::GeneralSync});
@@ -57,7 +58,7 @@ TEST(Runner, GeneralSyncHandlesClusters) {
 }
 
 TEST(Runner, AsyncSchedulersAllWork) {
-  const Graph g = makeFamily({"randtree", 40, 13});
+  const Graph g = makeGraph("randtree", 40, 13);
   for (const char* sched : {"round_robin", "shuffled", "uniform", "weighted"}) {
     const Placement p = rootedPlacement(g, 32, 0, 5);
     const RunResult r = runDispersion(g, p, {Algorithm::RootedAsync, sched, 9});
@@ -86,7 +87,7 @@ TEST(Runner, KsRequiresRootedPlacement) {
 }
 
 TEST(Runner, GeneralAsyncHandlesClustersUnderAllSchedulers) {
-  const Graph g = makeFamily({"grid", 64, 9});
+  const Graph g = makeGraph("grid", 64, 9);
   for (std::uint32_t l : {1u, 2u, 4u, 8u}) {
     for (const char* sched : {"round_robin", "shuffled", "uniform", "weighted"}) {
       const Placement p = clusteredPlacement(g, 48, l, 11);
@@ -117,7 +118,7 @@ class CrossAlgorithmTest : public ::testing::TestWithParam<CrossCase> {};
 TEST_P(CrossAlgorithmTest, TerminatesDispersedWithSaneMetrics) {
   const auto& [algo, family, seed] = GetParam();
   const std::uint32_t k = 48;
-  const Graph g = makeFamily({family, 64, seed});
+  const Graph g = makeGraph(family, 64, seed);
   const Placement p = placementFor(g, algo, k, seed + 1);
   const RunResult r = runDispersion(g, p, {algo, "round_robin", seed});
 
@@ -145,7 +146,7 @@ TEST_P(CrossAlgorithmTest, TerminatesDispersedWithSaneMetrics) {
 TEST_P(CrossAlgorithmTest, FixedSeedsGiveBitIdenticalRuns) {
   const auto& [algo, family, seed] = GetParam();
   const std::uint32_t k = 32;
-  const Graph g = makeFamily({family, 48, seed});
+  const Graph g = makeGraph(family, 48, seed);
   const Placement p = placementFor(g, algo, k, seed + 1);
   const RunSpec spec{algo, "uniform", seed};
   const RunResult a = runDispersion(g, p, spec);
@@ -176,7 +177,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithmsFamiliesSeeds, CrossAlgorithmTest,
 TEST(CrossAlgorithm, MovesAndTimeNonDecreasingInK) {
   // Scaling sanity shared by every algorithm: on a fixed graph, settling
   // more agents never takes fewer total moves, and never less time.
-  const Graph g = makeFamily({"er", 128, 21});
+  const Graph g = makeGraph("er", 128, 21);
   for (const Algorithm algo : kAllAlgorithms) {
     std::uint64_t prevMoves = 0, prevTime = 0;
     for (const std::uint32_t k : {16u, 32u, 64u}) {
@@ -189,6 +190,43 @@ TEST(CrossAlgorithm, MovesAndTimeNonDecreasingInK) {
       prevTime = r.time;
     }
   }
+}
+
+// ------------------------------------------------------------ scenario API
+
+TEST(RunScenario, MatchesManualGraphAndPlacementConstruction) {
+  RunOptions opts;
+  opts.algorithm = "rooted_sync";
+  opts.seed = 7;
+  const RunResult viaScenario = runScenario("er", "rooted", 24, opts);
+
+  const Graph g = makeGraph("er", 48, 7);  // default sizing n = 2k
+  const Placement p = rootedPlacement(g, 24, 0, 7);
+  const RunResult manual = runSession(g, p, opts);
+  EXPECT_EQ(viaScenario.dispersed, manual.dispersed);
+  EXPECT_EQ(viaScenario.time, manual.time);
+  EXPECT_EQ(viaScenario.totalMoves, manual.totalMoves);
+  EXPECT_EQ(viaScenario.finalPositions, manual.finalPositions);
+}
+
+TEST(RunScenario, RunsAdversarialPlacementsOnParameterizedGraphs) {
+  RunOptions opts;
+  opts.algorithm = "general_sync";
+  opts.seed = 3;
+  const RunResult far =
+      runScenario("grid:rows=6,cols=6", "adversarial:far", 18, opts);
+  EXPECT_TRUE(far.dispersed);
+  EXPECT_TRUE(isDispersed(far.finalPositions));
+
+  opts.algorithm = "rooted_sync";
+  const RunResult hot = runScenario("star:n=40", "adversarial:hot", 16, opts);
+  EXPECT_TRUE(hot.dispersed);
+}
+
+TEST(RunScenario, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)runScenario("nope", "rooted", 8), std::invalid_argument);
+  EXPECT_THROW((void)runScenario("er", "nope", 8), std::invalid_argument);
+  EXPECT_THROW((void)runScenario("er", "rooted", 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "algo/sync_rooted.hpp"
 #include "core/metrics.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -40,7 +41,7 @@ class SyncRootedTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(SyncRootedTest, Disperses) {
   const auto& [family, n, k] = GetParam();
-  const Graph g = makeFamily({family, n, 42});
+  const Graph g = makeGraph(family, n, 42);
   RunOut run(g, k, 7);
   EXPECT_TRUE(run.algo.dispersed()) << family;
   EXPECT_TRUE(isDispersed(run.engine.positionsSnapshot()));
@@ -68,7 +69,7 @@ TEST(SyncRooted, SmallKRange) {
   // Minimum supported k (7) through 12 on several shapes.
   for (std::uint32_t k = 7; k <= 12; ++k) {
     for (const char* family : {"path", "star", "er", "randtree"}) {
-      const Graph g = makeFamily({family, 24, k * 3 + 1});
+      const Graph g = makeGraph(family, 24, k * 3 + 1);
       RunOut run(g, k, k);
       EXPECT_TRUE(run.algo.dispersed()) << family << " k=" << k;
     }
@@ -114,7 +115,7 @@ TEST(SyncRooted, ProbeRoundsAreConstant) {
 
 TEST(SyncRooted, RoundsLinearInK) {
   // The paper's headline: rounds/k stays (roughly) flat as k doubles.
-  const Graph g = makeFamily({"er", 600, 11});
+  const Graph g = makeGraph("er", 600, 11);
   double prevRatio = 0;
   for (std::uint32_t k : {64u, 128u, 256u, 512u}) {
     RunOut run(g, k, 3);
@@ -129,7 +130,7 @@ TEST(SyncRooted, RoundsLinearInK) {
 }
 
 TEST(SyncRooted, MemoryLogarithmic) {
-  const Graph g = makeFamily({"er", 300, 17});
+  const Graph g = makeGraph("er", 300, 17);
   for (std::uint32_t k : {64u, 256u}) {
     RunOut run(g, k, 9);
     ASSERT_TRUE(run.algo.dispersed());
@@ -141,7 +142,7 @@ TEST(SyncRooted, MemoryLogarithmic) {
 }
 
 TEST(SyncRooted, ForwardMovesExactlyKMinus1) {
-  const Graph g = makeFamily({"randtree", 50, 23});
+  const Graph g = makeGraph("randtree", 50, 23);
   RunOut run(g, 50, 2);
   ASSERT_TRUE(run.algo.dispersed());
   EXPECT_EQ(run.algo.stats().forwardMoves, 49u);
@@ -149,14 +150,14 @@ TEST(SyncRooted, ForwardMovesExactlyKMinus1) {
 }
 
 TEST(SyncRooted, OscillationCyclesWithinLemma2Bound) {
-  const Graph g = makeFamily({"star", 100, 3});
+  const Graph g = makeGraph("star", 100, 3);
   RunOut run(g, 40, 4);
   ASSERT_TRUE(run.algo.dispersed());
   EXPECT_LE(run.algo.oscillators().maxCycleRounds(), 6u);
 }
 
 TEST(SyncRooted, DeterministicAcrossRuns) {
-  const Graph g = makeFamily({"er", 100, 21});
+  const Graph g = makeGraph("er", 100, 21);
   std::uint64_t first = 0;
   for (int rep = 0; rep < 2; ++rep) {
     RunOut run(g, 64, 13);
@@ -180,7 +181,7 @@ TEST(SyncRooted, FullOccupancyOnTree) {
 
 TEST(SyncRooted, WorksUnderRandomPortLabels) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const Graph g = makeFamily({"er", 64, seed, PortLabeling::RandomPermutation});
+    const Graph g = makeGraph("er", 64, seed, PortLabeling::RandomPermutation);
     RunOut run(g, 48, seed);
     EXPECT_TRUE(run.algo.dispersed()) << "seed " << seed;
   }

@@ -13,6 +13,7 @@
 #include "algo/registry.hpp"
 #include "algo/runner.hpp"
 #include "graph/generators.hpp"
+#include "graph/spec.hpp"
 
 namespace disp {
 namespace {
@@ -73,7 +74,7 @@ TEST(Registry, TraitsMatchTheLegacyEnumPredicates) {
 TEST(Registry, UnknownNamesFailLoudly) {
   EXPECT_EQ(findAlgorithm("rooted_synk"), nullptr);
   EXPECT_THROW((void)algorithmDef("rooted_synk"), std::invalid_argument);
-  const Graph g = makeFamily({"er", 32, 3});
+  const Graph g = makeGraph("er", 32, 3);
   const Placement p = rootedPlacement(g, 16, 0, 3);
   RunOptions opts;
   opts.algorithm = "no_such_algorithm";
@@ -93,7 +94,7 @@ TEST(Registry, RejectsBadRegistrations) {
 }
 
 TEST(Registry, RootedPlacementRequirementIsEnforced) {
-  const Graph g = makeFamily({"grid", 36, 5});
+  const Graph g = makeGraph("grid", 36, 5);
   const Placement clustered = clusteredPlacement(g, 18, 3, 7);
   for (const char* key : {"rooted_sync", "rooted_async", "ks_sync", "ks_async"}) {
     RunOptions opts;
@@ -105,7 +106,7 @@ TEST(Registry, RootedPlacementRequirementIsEnforced) {
 // ------------------------------------------- observer determinism contract
 
 TEST(ObserverDeterminism, ObservedRunsReportIdenticalFactsAtAnyCadence) {
-  const Graph g = makeFamily({"er", 64, 11});
+  const Graph g = makeGraph("er", 64, 11);
   for (const char* key : kAllKeys) {
     const Placement p = placementFor(g, key, 40, 13);
     RunOptions plain;
@@ -139,7 +140,7 @@ TEST(ObserverDeterminism, ObservedRunsReportIdenticalFactsAtAnyCadence) {
 }
 
 TEST(ObserverDeterminism, CompatWrapperMatchesSession) {
-  const Graph g = makeFamily({"grid", 64, 9});
+  const Graph g = makeGraph("grid", 64, 9);
   const Placement p = rootedPlacement(g, 48, 0, 3);
   const RunResult viaEnum = runDispersion(g, p, {Algorithm::RootedAsync, "uniform", 5});
   RunOptions opts;
@@ -173,7 +174,7 @@ Recorded record(const Graph& g, const Placement& p, RunOptions opts) {
 }
 
 TEST(TraceSchema, PinnedGeneralSyncRunEmitsOrderedWellFormedEvents) {
-  const Graph g = makeFamily({"grid", 48, 7});
+  const Graph g = makeGraph("grid", 48, 7);
   const std::uint32_t k = 32;
   const Placement p = clusteredPlacement(g, k, 4, 7);
   RunOptions opts;
@@ -237,7 +238,7 @@ TEST(TraceSchema, PinnedGeneralSyncRunEmitsOrderedWellFormedEvents) {
 }
 
 TEST(TraceSchema, MoveEventsMatchTotalMovesForEveryAlgorithm) {
-  const Graph g = makeFamily({"er", 48, 21});
+  const Graph g = makeGraph("er", 48, 21);
   for (const char* key : kAllKeys) {
     const Placement p = placementFor(g, key, 32, 9);
     RunOptions opts;
@@ -261,7 +262,7 @@ TEST(TraceSchema, MoveEventsMatchTotalMovesForEveryAlgorithm) {
 TEST(TraceSchema, RootedSyncEmitsOscillationDutyChurn) {
   // er at n = 2k leaves ≥ ⌈k/3⌉ empty nodes (Lemma 1), so cover duty must
   // be assigned; every gain (a=1) precedes the matching drop (a=0).
-  const Graph g = makeFamily({"er", 96, 5});
+  const Graph g = makeGraph("er", 96, 5);
   const Placement p = rootedPlacement(g, 48, 0, 5);
   RunOptions opts;
   opts.algorithm = "rooted_sync";
@@ -286,7 +287,7 @@ TEST(TraceSchema, RootedSyncEmitsOscillationDutyChurn) {
 // ------------------------------------------------ sampling and early stop
 
 TEST(Sampling, SnapshotsFollowTheCadenceAndCloseOnTheEnd) {
-  const Graph g = makeFamily({"er", 64, 11});
+  const Graph g = makeGraph("er", 64, 11);
   const Placement p = rootedPlacement(g, 32, 0, 3);
   RunOptions opts;
   opts.algorithm = "rooted_sync";
@@ -307,7 +308,7 @@ TEST(Sampling, SnapshotsFollowTheCadenceAndCloseOnTheEnd) {
 }
 
 TEST(Sampling, EarlyStopTruncatesTheRun) {
-  const Graph g = makeFamily({"er", 64, 11});
+  const Graph g = makeGraph("er", 64, 11);
   const Placement p = rootedPlacement(g, 32, 0, 3);
   RunOptions full;
   full.algorithm = "rooted_sync";
@@ -339,7 +340,7 @@ TEST(Sampling, StopWhenAtCompletionDoesNotMarkStoppedEarly) {
   // A stopWhen that can only fire once every agent has settled triggers on
   // the same round/activation the protocol finishes — the run completed,
   // so the truncation flag must stay false (RunResult contract).
-  const Graph g = makeFamily({"er", 64, 11});
+  const Graph g = makeGraph("er", 64, 11);
   const Placement p = rootedPlacement(g, 32, 0, 3);
   for (const char* key : {"ks_sync", "ks_async"}) {
     RunOptions opts;
@@ -353,7 +354,7 @@ TEST(Sampling, StopWhenAtCompletionDoesNotMarkStoppedEarly) {
 }
 
 TEST(Sampling, AsyncSnapshotsCarryEpochs) {
-  const Graph g = makeFamily({"er", 48, 3});
+  const Graph g = makeGraph("er", 48, 3);
   const Placement p = rootedPlacement(g, 24, 0, 5);
   RunOptions opts;
   opts.algorithm = "rooted_async";
