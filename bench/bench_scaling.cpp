@@ -1,0 +1,7 @@
+// E18 — single-run wallclock scaling with --run-threads lanes (body:
+// src/exp/benches_scale.cpp).
+#include "exp/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("scaling", argc, argv);
+}

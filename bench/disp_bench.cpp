@@ -14,7 +14,8 @@
 namespace {
 
 void printUsage(std::ostream& os) {
-  os << "usage: disp_bench [--list] [--threads=N] [--seeds=a,b,c] [--jsonl=PATH]\n"
+  os << "usage: disp_bench [--list] [--threads=N] [--run-threads=N]\n"
+        "                  [--seeds=a,b,c] [--jsonl=PATH]\n"
         "                  [--trace=PATH | --trajectory=PATH] [--sample=N]\n"
         "                  [--graphs=SPEC;SPEC] [--placements=SPEC;SPEC]\n"
         "                  [--ks=a,b,c] [--shard=I/N]\n"
@@ -34,6 +35,8 @@ void printUsage(std::ostream& os) {
         "(the `scenario` sweep is the blank canvas for these).\n"
         "--shard=I/N runs every Nth cell of the deterministic enumeration;\n"
         "merge shard JSONL outputs with scripts/merge_jsonl.sh.\n"
+        "--run-threads=N parallelizes inside each SYNC run (facts stay\n"
+        "byte-identical); requires --threads=1 — the two axes multiply.\n"
         "Algorithms are registry keys:\n";
   os << " ";
   for (const auto& key : disp::algorithmKeys()) os << " " << key;

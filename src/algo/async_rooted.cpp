@@ -10,6 +10,7 @@ namespace disp {
 RootedAsyncDispersion::RootedAsyncDispersion(AsyncEngine& engine)
     : engine_(engine),
       st_(engine.agentCount()),
+      proberIdx_(engine.agentCount(), engine.graph().nodeCount()),
       widths_(BitWidths::forRun(4ULL * engine.agentCount(), engine.graph().maxDegree(),
                                 engine.agentCount())) {
   const NodeId root = engine_.positionOf(0);
@@ -17,8 +18,11 @@ RootedAsyncDispersion::RootedAsyncDispersion(AsyncEngine& engine)
     DISP_REQUIRE(engine_.positionOf(a) == root,
                  "RootedAsyncDisp expects a rooted initial configuration");
     if (leader_ == kNoAgent || engine_.idOf(a) > engine_.idOf(leader_)) leader_ = a;
+    proberIdx_.insert(a, root);  // everyone starts unsettled
   }
   groupSize_ = engine_.agentCount();
+  engine_.setMoveHook(
+      [this](AgentIx a, NodeId /*from*/, NodeId to) { proberIdx_.relocate(a, to); });
 }
 
 void RootedAsyncDispersion::start() {
@@ -62,10 +66,23 @@ const std::vector<AgentIx>& RootedAsyncDispersion::availableProbersAt(
     NodeId w, AgentIx self) const {
   // A(w) \ {α(w)}: unsettled agents and guest helpers, idle (no pending
   // orders), ascending by ID so the leader (max ID) is drafted last.
+  // The index bucket already holds exactly the followers and guests at w;
+  // only the fast-changing order flags are filtered here (DESIGN.md §9.4).
   // Scratch reuse is safe: every caller consumes the list before its next
   // co_await (single-threaded engine), so no interleaved call clobbers it.
   std::vector<AgentIx>& avail = probersScratch_;
   avail.clear();
+  for (const AgentIx a : proberIdx_.membersAt(w)) {
+    const AgentState& s = st_[a];
+    if (s.orderProbePort != kNoPort || s.needReport || s.needRegister) continue;
+    if (s.orderGoHome || s.orderChaperone != kNoPort) continue;
+    avail.push_back(a);
+  }
+  std::sort(avail.begin(), avail.end(),
+            [&](AgentIx a, AgentIx b) { return engine_.idOf(a) < engine_.idOf(b); });
+#ifndef NDEBUG
+  // Cross-check the index against the naive occupant scan it replaced.
+  std::vector<AgentIx> naive;
   for (const AgentIx a : engine_.agentsAt(w)) {
     const AgentState& s = st_[a];
     const bool follower = !s.settled;
@@ -73,10 +90,12 @@ const std::vector<AgentIx>& RootedAsyncDispersion::availableProbersAt(
     if (!follower && !guest) continue;
     if (s.orderProbePort != kNoPort || s.needReport || s.needRegister) continue;
     if (s.orderGoHome || s.orderChaperone != kNoPort) continue;
-    avail.push_back(a);
+    naive.push_back(a);
   }
-  std::sort(avail.begin(), avail.end(),
+  std::sort(naive.begin(), naive.end(),
             [&](AgentIx a, AgentIx b) { return engine_.idOf(a) < engine_.idOf(b); });
+  DISP_CHECK(avail == naive, "IdleProberIndex drifted from the world");
+#endif
   (void)self;
   return avail;
 }
@@ -107,6 +126,7 @@ Task RootedAsyncDispersion::participantFiber(AgentIx self) {
       if (settler != kNoAgent) {
         st_[settler].orderGuestGoTo = engine_.pinOf(self);  // route to w
         st_[settler].isGuest = true;
+        proberIdx_.insert(settler, ui);  // guests are prober-eligible
       }
       engine_.move(self, engine_.pinOf(self));  // return to w
       me.needReport = true;
@@ -155,6 +175,7 @@ Task RootedAsyncDispersion::participantFiber(AgentIx self) {
       engine_.move(self, me.guestEntryPort);
       me.guestEntryPort = kNoPort;
       me.isGuest = false;  // home again (position == settledAt)
+      proberIdx_.erase(self);
       continue;
     }
 
@@ -220,6 +241,7 @@ Task RootedAsyncDispersion::leaderProbeTrip(AgentIx self, Port port) {
   if (settler != kNoAgent) {
     st_[settler].orderGuestGoTo = engine_.pinOf(self);
     st_[settler].isGuest = true;
+    proberIdx_.insert(settler, ui);  // guests are prober-eligible
   }
   engine_.move(self, engine_.pinOf(self));
   co_await engine_.nextActivation(self);
@@ -359,6 +381,7 @@ Task RootedAsyncDispersion::leaderFiber(AgentIx self) {
     st_[amin].settled = true;
     st_[amin].settledAt = s;
     st_[amin].parentPort = kNoPort;
+    proberIdx_.erase(amin);  // settlers stop being prober-eligible
     --groupSize_;
     engine_.traceSettle(amin);
     recordMemory();
@@ -399,6 +422,7 @@ Task RootedAsyncDispersion::leaderFiber(AgentIx self) {
       st_[amin].settled = true;
       st_[amin].settledAt = u;
       st_[amin].parentPort = engine_.pinOf(amin);
+      proberIdx_.erase(amin);  // settlers stop being prober-eligible
       --groupSize_;
       engine_.traceSettle(amin);
       recordMemory();

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/probe_index.hpp"
 #include "core/async_engine.hpp"
 #include "core/memory.hpp"
 #include "core/metrics.hpp"
@@ -114,6 +115,10 @@ class RootedAsyncDispersion {
   std::vector<AgentState> st_;
   /// Scratch for availableProbersAt (consumed before any co_await).
   mutable std::vector<AgentIx> probersScratch_;
+  /// Followers + guest helpers bucketed by node: availableProbersAt reads
+  /// the w bucket instead of scanning every occupant of w (DESIGN.md §9.4).
+  /// Maintained at settle/recruit/see-off; positions ride the move hook.
+  IdleProberIndex proberIdx_;
   AsyncDispStats stats_;
   BitWidths widths_;
   AgentIx leader_ = kNoAgent;

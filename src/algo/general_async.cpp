@@ -19,6 +19,8 @@ constexpr std::uint64_t kWaitGuard = 1ULL << 26;
 GeneralAsyncDispersion::GeneralAsyncDispersion(AsyncEngine& engine)
     : engine_(engine),
       st_(engine.agentCount()),
+      proberIdx_(engine.agentCount(), engine.graph().nodeCount()),
+      posIdx_(0),  // resized below once the group count is known
       widths_(BitWidths::forRun(4ULL * engine.agentCount(), engine.graph().maxDegree(),
                                 engine.agentCount())),
       leadQueued_(engine.agentCount(), kNoGroup),
@@ -45,6 +47,19 @@ GeneralAsyncDispersion::GeneralAsyncDispersion(AsyncEngine& engine)
   probeNext_.assign(groups_.size(), kNoPort);
   probeMet_.assign(groups_.size(), {});
   rescanFound_.assign(groups_.size(), 0);
+
+  // Seed the probe indexes (everyone starts unsettled) and keep them in
+  // lock-step with the world through the engine's move hook; membership
+  // and label transitions are maintained at the protocol sites.
+  posIdx_ = GroupPositionIndex(static_cast<std::uint32_t>(groups_.size()));
+  for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
+    proberIdx_.insert(a, engine_.positionOf(a));
+    posIdx_.add(st_[a].label, engine_.positionOf(a));
+  }
+  engine_.setMoveHook([this](AgentIx a, NodeId from, NodeId to) {
+    proberIdx_.relocate(a, to);
+    if (!st_[a].settled) posIdx_.move(st_[a].label, from, to);
+  });
 }
 
 void GeneralAsyncDispersion::start() {
@@ -111,10 +126,26 @@ const std::vector<AgentIx>& GeneralAsyncDispersion::availableProbersAt(
     NodeId w, Label label) const {
   // Own-label unsettled agents and guest helpers, idle (no pending orders),
   // ascending by ID so the leader is drafted as late as its ID allows.
-  // Scratch reuse is safe: every caller consumes the list before its next
-  // co_await (single-threaded engine), so no interleaved call clobbers it.
+  // The index bucket already holds exactly the followers and guests at w;
+  // the label and the fast-changing order flags are filtered here
+  // (DESIGN.md §9.4).  Scratch reuse is safe: every caller consumes the
+  // list before its next co_await (single-threaded engine), so no
+  // interleaved call clobbers it.
   std::vector<AgentIx>& avail = probersScratch_;
   avail.clear();
+  for (const AgentIx a : proberIdx_.membersAt(w)) {
+    const AgentState& s = st_[a];
+    if (s.label != label) continue;
+    if (s.orderProbePort != kNoPort || s.needReport || s.needRegister) continue;
+    if (s.orderGoHome || s.orderChaperone != kNoPort) continue;
+    if (s.orderFollow != kNoPort) continue;
+    avail.push_back(a);
+  }
+  std::sort(avail.begin(), avail.end(),
+            [&](AgentIx a, AgentIx b) { return engine_.idOf(a) < engine_.idOf(b); });
+#ifndef NDEBUG
+  // Cross-check the index against the naive occupant scan it replaced.
+  std::vector<AgentIx> naive;
   for (const AgentIx a : engine_.agentsAt(w)) {
     const AgentState& s = st_[a];
     if (s.label != label) continue;
@@ -124,21 +155,29 @@ const std::vector<AgentIx>& GeneralAsyncDispersion::availableProbersAt(
     if (s.orderProbePort != kNoPort || s.needReport || s.needRegister) continue;
     if (s.orderGoHome || s.orderChaperone != kNoPort) continue;
     if (s.orderFollow != kNoPort) continue;
-    avail.push_back(a);
+    naive.push_back(a);
   }
-  std::sort(avail.begin(), avail.end(),
+  std::sort(naive.begin(), naive.end(),
             [&](AgentIx a, AgentIx b) { return engine_.idOf(a) < engine_.idOf(b); });
+  DISP_CHECK(avail == naive, "IdleProberIndex drifted from the world");
+#endif
   return avail;
 }
 
 bool GeneralAsyncDispersion::groupConsolidatedAt(Label label, NodeId v) const {
-  bool any = false;
+  const bool consolidated = posIdx_.consolidatedAt(label, v);
+#ifndef NDEBUG
+  // Cross-check the fingerprint against the naive all-agent scan.
+  bool any = false, naive = true;
   for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
     if (st_[a].label != label || st_[a].settled) continue;
-    if (engine_.positionOf(a) != v) return false;
+    if (engine_.positionOf(a) != v) naive = false;
     any = true;
   }
-  return any;
+  naive = naive && any;
+  DISP_CHECK(consolidated == naive, "GroupPositionIndex drifted from the world");
+#endif
+  return consolidated;
 }
 
 std::uint32_t GeneralAsyncDispersion::globalUnsettled() const {
@@ -156,6 +195,8 @@ void GeneralAsyncDispersion::settle(std::uint32_t gi, AgentIx a, NodeId at,
   s.parentPort = parentPort;
   s.checked = 0;
   s.firstChildPort = s.latestChildPort = s.nextSiblingPort = kNoPort;
+  proberIdx_.erase(a);  // settlers stop being prober-eligible
+  posIdx_.remove(s.label, at);
   --groups_[gi].unsettled;
   engine_.traceSettle(a, groups_[gi].label);
   recordMemory();
@@ -174,6 +215,8 @@ void GeneralAsyncDispersion::absorbGroup(std::uint32_t gi, std::uint32_t mi) {
       DISP_CHECK(engine_.positionOf(a) == here,
                  "marcher group not consolidated at absorb time");
       st_[a].label = ctx.label;
+      posIdx_.remove(m.label, here);
+      posIdx_.add(ctx.label, here);
       ++joined;
     }
   }
@@ -205,6 +248,7 @@ GeneralAsyncDispersion::ProbeSight GeneralAsyncDispersion::observeAndRecruit(
   if (sight.settler != kNoAgent) {
     st_[sight.settler].orderGuestGoTo = engine_.pinOf(self);
     st_[sight.settler].isGuest = true;
+    proberIdx_.insert(sight.settler, ui);  // guests are prober-eligible
   }
   return sight;
 }
@@ -214,6 +258,8 @@ void GeneralAsyncDispersion::adoptAt(std::uint32_t gi, Label fromLabel, NodeId v
   for (const AgentIx a : engine_.agentsAt(v)) {
     if (st_[a].label == fromLabel && !st_[a].settled) {
       st_[a].label = groups_[gi].label;
+      posIdx_.remove(fromLabel, v);
+      posIdx_.add(groups_[gi].label, v);
       ++groups_[gi].total;
       ++groups_[gi].unsettled;
       --groups_[fromLabel].total;
@@ -288,6 +334,7 @@ Task GeneralAsyncDispersion::participantStep(AgentIx self) {
     engine_.move(self, me.guestEntryPort);
     me.guestEntryPort = kNoPort;
     me.isGuest = false;  // home again (position == settledAt)
+    proberIdx_.erase(self);
     co_return;
   }
 
@@ -648,6 +695,8 @@ Task GeneralAsyncDispersion::collapseVisit(std::uint32_t gi, Label loserLabel,
   s.settled = false;
   s.settledAt = kInvalidNode;
   s.label = ctx.label;
+  proberIdx_.insert(ls, engine_.positionOf(ls));  // unsettled again
+  posIdx_.add(ctx.label, engine_.positionOf(ls));
   ++ctx.total;
   ++ctx.unsettled;
   --groups_[loserLabel].total;

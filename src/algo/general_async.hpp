@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/probe_index.hpp"
 #include "core/async_engine.hpp"
 #include "core/memory.hpp"
 #include "core/metrics.hpp"
@@ -218,6 +219,15 @@ class GeneralAsyncDispersion {
   std::vector<AgentState> st_;
   /// Scratch for availableProbersAt (consumed before any co_await).
   mutable std::vector<AgentIx> probersScratch_;
+  /// Followers + guest helpers bucketed by node (label-agnostic; the query
+  /// filters labels): availableProbersAt reads the w bucket instead of
+  /// scanning every occupant of w (DESIGN.md §9.4).
+  IdleProberIndex proberIdx_;
+  /// Per-label unsettled count + position fingerprint: groupConsolidatedAt
+  /// drops from an O(k) all-agent scan (run on every reassembly-wait
+  /// activation) to two O(1) lookups.  Labels never outlive the initial
+  /// group array, so the index is sized once in the constructor.
+  GroupPositionIndex posIdx_;
   std::vector<GroupCtx> groups_;
   GeneralAsyncStats stats_;
   BitWidths widths_;

@@ -161,49 +161,89 @@ void OscillatorSystem::rebuildPlan(Osc& osc) const {
   DISP_CHECK(osc.plan.size() <= 6, "Lemma 2 violated: trip exceeds 6 rounds");
 }
 
-void OscillatorSystem::stageMoves() {
-  for (auto& osc : oscs_) {
-    if (osc.planIx >= osc.plan.size()) {
-      // Fast path: no duty left (stops dropped) and no trip in flight —
-      // skip the per-round plan rebuild for every retired oscillator.
-      if (osc.stops.empty()) {
-        if (!osc.plan.empty()) {
-          osc.plan.clear();
-          osc.planIx = 0;
-        }
-        if (duty_[osc.agent] != 0) {
-          engine_.traceEvent(TraceEventKind::OscillationDuty, osc.agent, osc.home,
-                             0, 0);
-        }
-        duty_[osc.agent] = 0;
-        continue;
+template <typename Sink>
+void OscillatorSystem::stepOscillator(Osc& osc, Sink& sink) {
+  if (osc.planIx >= osc.plan.size()) {
+    // Fast path: no duty left (stops dropped) and no trip in flight —
+    // skip the per-round plan rebuild for every retired oscillator.
+    if (osc.stops.empty()) {
+      if (!osc.plan.empty()) {
+        osc.plan.clear();
+        osc.planIx = 0;
       }
-      // At home between cycles; start a new one if duty remains.
-      rebuildPlan(osc);
-      if (osc.plan.empty()) continue;
+      if (duty_[osc.agent] != 0) {
+        sink.duty(osc.agent, osc.home, 0, 0);
+      }
+      duty_[osc.agent] = 0;
+      return;
     }
-    // Sibling trips: right after the first hop landed at the parent, the
-    // pin is the port leading home — remember it for the final hop.
-    if (osc.siblingType && osc.planIx == 1) osc.homeReturn = engine_.pinOf(osc.agent);
-
-    const Hop& hop = osc.plan[osc.planIx];
-    Port via = kNoPort;
-    switch (hop.kind) {
-      case Hop::Kind::Literal:
-        via = hop.port;
-        break;
-      case Hop::Kind::Pin:
-        via = engine_.pinOf(osc.agent);
-        break;
-      case Hop::Kind::HomeReturn:
-        via = osc.homeReturn;
-        break;
-    }
-    DISP_CHECK(via != kNoPort, "oscillator lost its route");
-    engine_.stageMove(osc.agent, via);
-    osc.atStop = hop.stopKey;  // where this hop will land (kNoPort if not a stop)
-    ++osc.planIx;
+    // At home between cycles; start a new one if duty remains.
+    rebuildPlan(osc);
+    if (osc.plan.empty()) return;
   }
+  // Sibling trips: right after the first hop landed at the parent, the
+  // pin is the port leading home — remember it for the final hop.
+  if (osc.siblingType && osc.planIx == 1) osc.homeReturn = engine_.pinOf(osc.agent);
+
+  const Hop& hop = osc.plan[osc.planIx];
+  Port via = kNoPort;
+  switch (hop.kind) {
+    case Hop::Kind::Literal:
+      via = hop.port;
+      break;
+    case Hop::Kind::Pin:
+      via = engine_.pinOf(osc.agent);
+      break;
+    case Hop::Kind::HomeReturn:
+      via = osc.homeReturn;
+      break;
+  }
+  DISP_CHECK(via != kNoPort, "oscillator lost its route");
+  sink.stageMove(osc.agent, via);
+  osc.atStop = hop.stopKey;  // where this hop will land (kNoPort if not a stop)
+  ++osc.planIx;
+}
+
+namespace {
+
+// Sinks for stepOscillator: straight to the engine (serial) or into a
+// per-lane buffer that the engine merges in lane order (parallel).
+struct EngineSink {
+  SyncEngine& engine;
+  void stageMove(AgentIx a, Port p) { engine.stageMove(a, p); }
+  void duty(AgentIx agent, NodeId node, std::uint32_t a, std::uint32_t b) {
+    engine.traceEvent(TraceEventKind::OscillationDuty, agent, node, a, b);
+  }
+};
+
+struct LaneSink {
+  SyncEngine::LaneStager& lane;
+  void stageMove(AgentIx a, Port p) { lane.stageMove(a, p); }
+  void duty(AgentIx agent, NodeId node, std::uint32_t a, std::uint32_t b) {
+    lane.traceEvent(TraceEventKind::OscillationDuty, agent, node, a, b);
+  }
+};
+
+// Below this many oscillators the per-round dispatch overhead beats the
+// chunked win; step serially.
+constexpr std::size_t kParallelStagingMin = 256;
+
+}  // namespace
+
+void OscillatorSystem::stageMoves() {
+  const unsigned lanes = engine_.stagingLanes();
+  if (lanes > 1 && oscs_.size() >= kParallelStagingMin) {
+    // Contiguous chunks of oscs_ per lane + lane-order merge reproduce the
+    // serial staging order exactly; each step only touches its own state.
+    engine_.stageParallel([this, lanes](unsigned lane, SyncEngine::LaneStager& out) {
+      const auto [lo, hi] = RoundExecutor::chunk(oscs_.size(), lanes, lane);
+      LaneSink sink{out};
+      for (std::size_t i = lo; i < hi; ++i) stepOscillator(oscs_[i], sink);
+    });
+    return;
+  }
+  EngineSink sink{engine_};
+  for (auto& osc : oscs_) stepOscillator(osc, sink);
 }
 
 }  // namespace disp

@@ -96,6 +96,7 @@ RunResult runSession(const Graph& g, const Placement& placement,
     const std::uint64_t limit =
         opts.limit ? opts.limit : 20000ULL * k + 40ULL * g.edgeCount() + 400000;
     SyncEngine engine(g, placement.positions, placement.ids);
+    if (opts.runThreads != 1) engine.setRunThreads(opts.runThreads);
     EngineObserver obs = buildObserver(opts, /*async=*/false, &trajectory);
     if (obs.any()) engine.installObserver(std::move(obs));
     const auto algo = def.makeSync(engine);

@@ -58,6 +58,12 @@ struct RunOptions {
   std::uint64_t seed = 1;
   /// Safety cap on rounds (SYNC) / activations (ASYNC); 0 = auto.
   std::uint64_t limit = 0;
+  /// Intra-run worker lanes for SYNC round execution (staging + commit):
+  /// 1 = serial (default), 0 = hardware concurrency, N = exactly N.  Facts,
+  /// traces and snapshots are byte-identical for every value (DESIGN.md
+  /// §9).  ASYNC algorithms ignore this — their activation stream is
+  /// inherently sequential.
+  unsigned runThreads = 1;
 
   // --- observability (all optional; see core/trace.hpp) ---
   /// Typed trace-event stream, emitted by the engine and the protocol.

@@ -28,6 +28,7 @@ void AsyncEngine::move(AgentIx a, Port p) {
   const NodeId from = world_.positionOf(a);
   world_.applyMove(a, p);
   movedThisActivation_ = true;
+  if (moveHook_) moveHook_(a, from, world_.positionOf(a));
   trace_.emit({TraceEventKind::Move, activations_, a, world_.positionOf(a), from, p});
 }
 

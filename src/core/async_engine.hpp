@@ -14,6 +14,7 @@
 // termination via `engine.finish()` (e.g. when the last leader settles).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/trace.hpp"
 #include "core/world.hpp"
 #include "graph/graph.hpp"
+#include "util/check.hpp"
 
 namespace disp {
 
@@ -82,6 +84,17 @@ class AsyncEngine {
   /// (enforced); only the currently activated agent may move.
   void move(AgentIx a, Port p);
 
+  /// Fires after every committed move with (agent, from, to).  Protocols use
+  /// it to keep incremental position indexes (algo/probe_index.hpp) in sync
+  /// with the world; at most one hook per engine, installed before run().
+  /// The hook must outlive every move() call (protocols own their engine's
+  /// whole run, so capturing `this` is safe).
+  using MoveHook = std::function<void(AgentIx, NodeId from, NodeId to)>;
+  void setMoveHook(MoveHook hook) {
+    DISP_CHECK(!moveHook_, "AsyncEngine: move hook already installed");
+    moveHook_ = std::move(hook);
+  }
+
   /// Marks the protocol finished; run() returns after the current activation.
   void finish() noexcept { finished_ = true; }
 
@@ -119,7 +132,8 @@ class AsyncEngine {
   bool movedThisActivation_ = false;
   bool inSetup_ = false;
   bool finished_ = false;
-  TraceHost trace_;  ///< observability (inert without installObserver)
+  MoveHook moveHook_;  ///< protocol index maintenance (optional)
+  TraceHost trace_;    ///< observability (inert without installObserver)
 };
 
 }  // namespace disp

@@ -1,0 +1,109 @@
+#include "core/round_executor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace disp {
+
+namespace {
+// Spin budget before a waiter parks (workers) or starts yielding (the
+// caller's join).  Deliberately small: on oversubscribed machines — CI
+// runners, containers pinned to one core — spinning lanes steal cycles
+// from the lane actually doing work.
+constexpr int kSpinIterations = 256;
+}  // namespace
+
+RoundExecutor::RoundExecutor(unsigned lanes) : lanes_(std::max(1u, lanes)) {
+  workers_.reserve(lanes_ - 1);
+  for (unsigned lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { workerLoop(lane); });
+  }
+}
+
+RoundExecutor::~RoundExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void RoundExecutor::workerLoop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    while (gen == seen && !stop_.load(std::memory_order_acquire)) {
+      if (++spins < kSpinIterations) {
+        std::this_thread::yield();
+      } else {
+        // Park until the next generation (or shutdown).  The predicate is
+        // re-checked under mutex_, and run() bumps generation_ under the
+        // same mutex before notifying, so wakeups cannot be lost.
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return generation_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+      }
+      gen = generation_.load(std::memory_order_acquire);
+    }
+    if (gen == seen) return;  // shutdown with no new work
+    seen = gen;
+    try {
+      (*job_)(lane);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void RoundExecutor::run(const std::function<void(unsigned)>& job) {
+  if (workers_.empty()) {
+    job(0);
+    return;
+  }
+  DISP_CHECK(job_ == nullptr, "RoundExecutor::run() is not reentrant");
+  job_ = &job;
+  pending_.store(lanes_ - 1, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    generation_.fetch_add(1, std::memory_order_release);  // publishes job_
+  }
+  wake_.notify_all();
+  try {
+    job(0);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+  // Join: the release-decrements of pending_ order every worker's writes
+  // (including its chunk's world mutations) before this acquire loop exits.
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= kSpinIterations) std::this_thread::yield();
+  }
+  job_ = nullptr;
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(err, firstError_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::pair<std::size_t, std::size_t> RoundExecutor::chunk(std::size_t jobs,
+                                                         unsigned lanes,
+                                                         unsigned lane) {
+  DISP_DCHECK(lanes >= 1 && lane < lanes, "lane out of range");
+  const std::size_t base = jobs / lanes;
+  const std::size_t extra = jobs % lanes;
+  const std::size_t lo = lane * base + std::min<std::size_t>(lane, extra);
+  return {lo, lo + base + (lane < extra ? 1 : 0)};
+}
+
+}  // namespace disp

@@ -1,0 +1,69 @@
+#pragma once
+// Fork/join worker pool for intra-run parallelism (DESIGN.md §9).
+//
+// One RoundExecutor serves one engine: run() hands the same callable to
+// every lane — lane 0 executes on the calling thread, the rest on
+// persistent workers — and returns once all lanes finish.  Dispatch is a
+// generation-stamped handshake: workers spin briefly on the generation
+// counter before parking on a condition variable, so the ~10^5 dispatches
+// of a large SYNC run cost little when rounds are dense and park cleanly
+// when they are not.
+//
+// The executor imposes no ordering of its own.  Callers keep results
+// deterministic by partitioning work into contiguous per-lane chunks (see
+// chunk()) and merging per-lane buffers in lane order — that is how the
+// round engine keeps parallel runs byte-identical to serial ones.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace disp {
+
+class RoundExecutor {
+ public:
+  /// `lanes` = total parallel lanes including the caller's (clamped to
+  /// >= 1); lanes - 1 worker threads start immediately and live until
+  /// destruction.
+  explicit RoundExecutor(unsigned lanes);
+  ~RoundExecutor();
+
+  RoundExecutor(const RoundExecutor&) = delete;
+  RoundExecutor& operator=(const RoundExecutor&) = delete;
+
+  [[nodiscard]] unsigned lanes() const noexcept { return lanes_; }
+
+  /// Runs job(lane) for every lane in [0, lanes()); lane 0 runs on the
+  /// caller.  Blocks until every lane finished.  The first exception (by
+  /// completion order) is rethrown on the caller after the join, so the
+  /// pool is always quiescent when this returns.  Not reentrant.
+  void run(const std::function<void(unsigned)>& job);
+
+  /// [lo, hi) chunk of `jobs` items owned by `lane` when the items are
+  /// split into `lanes` contiguous chunks (remainder spread over the first
+  /// lanes; concatenating chunks in lane order restores item order).
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk(std::size_t jobs,
+                                                                 unsigned lanes,
+                                                                 unsigned lane);
+
+ private:
+  void workerLoop(unsigned lane);
+
+  unsigned lanes_;
+  std::vector<std::thread> workers_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint32_t> pending_{0};  ///< worker lanes still running
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;  ///< guards parking, generation bumps and firstError_
+  std::condition_variable wake_;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace disp

@@ -17,12 +17,17 @@
 // cheap replay; move-heavy bursts (SYNC group hops) coalesce into one
 // rebuild per query instead of per-move sorted inserts.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace disp {
+
+class RoundExecutor;
 
 /// Globally unique agent identifier (the paper's a_i.ID ∈ [1, k^O(1)]).
 using AgentId = std::uint32_t;
@@ -86,6 +91,16 @@ class World {
     moveInternal(a, agents_[a].pos, p);
   }
 
+  /// Commits one round's staged batch with the lanes of `exec` (contiguous
+  /// chunk per lane).  Byte-identical to applying the batch serially: each
+  /// agent appears at most once (SYNC double-stage rule), per-node
+  /// link/count/log mutations are spinlocked, and one round's pending-log
+  /// ops on a node are add/removes of distinct agents — order-independent
+  /// under materialize()'s sorted replay, with log overflow decided by op
+  /// count alone.
+  void applyMovesStagedParallel(RoundExecutor& exec,
+                                const std::vector<std::pair<AgentIx, Port>>& moves);
+
  private:
   enum : std::uint8_t { kViewClean = 0, kViewPendingLog = 1, kViewRebuild = 2 };
   // Pending ops replayable in O(g) each stay worthwhile only in small
@@ -109,6 +124,12 @@ class World {
   };
 
   void materialize(NodeId v) const;
+
+  void moveLockedStaged(AgentIx a, Port p);
+  void lockNode(NodeId v) noexcept;
+  void unlockNode(NodeId v) noexcept {
+    nodeLocks_[v].clear(std::memory_order_release);
+  }
 
   void moveInternal(AgentIx a, NodeId from, Port p) {
     const NodeId to = graph_->neighbor(from, p);
@@ -161,6 +182,10 @@ class World {
   mutable std::vector<std::vector<AgentIx>> view_;
   mutable std::vector<std::vector<AgentIx>> log_;
   std::uint64_t totalMoves_ = 0;
+  /// Per-node spinlocks for the parallel commit path, allocated lazily on
+  /// the first parallel batch (kept outside NodeCell so cells stay small
+  /// and copyable; serial runs never touch them).
+  std::unique_ptr<std::atomic_flag[]> nodeLocks_;
 };
 
 }  // namespace disp

@@ -137,6 +137,7 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
     c.nOverK = spec.nOverK;
     c.labeling = spec.labeling;
     c.limit = spec.limit;
+    c.runThreads = options_.runThreads;
     if (options_.observe) {
       c.observe = [this, &key, seed = c.seed](RunOptions& opts) {
         options_.observe(key, seed, opts);

@@ -1,8 +1,10 @@
 #include "exp/bench_registry.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "algo/placement.hpp"
 #include "exp/benches.hpp"
@@ -42,6 +44,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchAblationScheduler},
       {"wallclock", "E14: simulator wall-clock per run (telemetry)",
        &benchWallclock},
+      {"scaling", "E18: single-run wallclock vs --run-threads lanes (telemetry)",
+       &benchScaling},
       {"trace_smoke", "E16: tiny observed cells (drives --trace / check_trace.sh)",
        &benchTraceSmoke},
       {"scenario", "E17: ad-hoc workloads from --graphs/--placements/--ks specs",
@@ -87,6 +91,24 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
     return 2;
   }
   ctx.batch.threads = static_cast<unsigned>(threads);
+  const std::int64_t runThreads = cli.integer("run-threads", 1);
+  if (runThreads < 0 || runThreads > 256) {
+    std::cerr << "error: --run-threads must be in [0, 256] (0 = hardware concurrency)\n";
+    return 2;
+  }
+  ctx.batch.runThreads = static_cast<unsigned>(runThreads);
+  // Nested-parallelism guard: cell-level workers (--threads) and intra-run
+  // lanes (--run-threads) multiply into oversubscription.  0 means
+  // hardware concurrency for both flags, so resolve before comparing.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned effCell = ctx.batch.threads == 0 ? hw : ctx.batch.threads;
+  const unsigned effRun = ctx.batch.runThreads == 0 ? hw : ctx.batch.runThreads;
+  if (effRun > 1 && effCell > 1) {
+    std::cerr << "error: --run-threads=" << runThreads
+              << " requires --threads=1 (cell-level and intra-run "
+                 "parallelism multiply; pick one axis)\n";
+    return 2;
+  }
   ctx.seedOverride = cli.u64list("seeds");
 
   // Workload overrides: ';'-separated GraphSpec / PlacementSpec strings

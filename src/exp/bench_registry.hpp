@@ -10,6 +10,11 @@
 //
 // Common flags (parsed by benchMain / runBenches):
 //   --threads=N      worker threads (0 = hardware concurrency, the default)
+//   --run-threads=N  intra-run worker lanes for SYNC rounds (1 = serial,
+//                    the default; 0 = hardware concurrency).  Facts are
+//                    lane-count invariant (DESIGN.md §9).  Requires
+//                    --threads=1: the two parallelism axes multiply
+//                    (runBenches rejects nested parallelism)
 //   --seeds=a,b,c    replicate seeds overriding each suite's single
 //                    historical seed; time cells become per-cell means and
 //                    tables gain per-cell "±95" CI columns

@@ -19,6 +19,10 @@ void benchTable1Memory(BenchContext& ctx);        // E5
 // Large-k scale sweep, streams cells to JSONL (benches_scale.cpp).
 void benchTable1Scale(BenchContext& ctx);         // E15
 
+// Single-run wallclock vs --run-threads lanes on the largest table1_scale
+// cell; enforces lane-count fact invariance (benches_scale.cpp).
+void benchScaling(BenchContext& ctx);             // E18
+
 // Figure / lemma probes (benches_figs.cpp).
 void benchFig1EmptySelection(BenchContext& ctx);  // E6
 void benchFig2Oscillation(BenchContext& ctx);     // E7

@@ -138,11 +138,13 @@ void benchWallclock(BenchContext& ctx) {
     const char* sched;
     std::uint32_t k;
     std::uint32_t clusters;
+    unsigned runThreads = 1;
   };
   const std::vector<Config> configs{
       {"rooted_sync", "round_robin", 64, 1},
       {"rooted_sync", "round_robin", 128, 1},
       {"rooted_sync", "round_robin", 256, 1},
+      {"rooted_sync", "round_robin", 256, 1, 4},  // intra-run lanes (E18 has more)
       {"rooted_async", "uniform", 64, 1},
       {"rooted_async", "uniform", 128, 1},
       {"ks_sync", "round_robin", 64, 1},
@@ -151,7 +153,7 @@ void benchWallclock(BenchContext& ctx) {
       {"general_sync", "round_robin", 64, 4},
       {"general_sync", "round_robin", 128, 4},
   };
-  Table t({"algo", "sched", "k", "l", "runs", "total_ms", "ms/run", "Mact/s",
+  Table t({"algo", "sched", "k", "l", "rt", "runs", "total_ms", "ms/run", "Mact/s",
            "Mmoves/s"});
   for (const Config& cfg : configs) {
     const Graph g = makeGraph("er", 2 * cfg.k, 7);
@@ -167,6 +169,7 @@ void benchWallclock(BenchContext& ctx) {
       opts.algorithm = cfg.algo;
       opts.scheduler = cfg.sched;
       opts.seed = 5;
+      opts.runThreads = cfg.runThreads;
       const RunResult r = runSession(g, p, opts);
       DISP_CHECK(r.dispersed, "wallclock config failed to disperse");
       ++runs;
@@ -184,6 +187,7 @@ void benchWallclock(BenchContext& ctx) {
         .cell(cfg.sched)
         .cell(std::uint64_t{cfg.k})
         .cell(std::uint64_t{cfg.clusters})
+        .cell(std::uint64_t{cfg.runThreads})
         .cell(runs)
         .cell(elapsedMs, 1)
         .cell(elapsedMs / double(runs), 3)

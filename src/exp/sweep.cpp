@@ -37,6 +37,7 @@ RunRecord runCell(const Graph& g, const CaseSpec& c) {
   opts.scheduler = c.scheduler;
   opts.seed = c.seed;
   opts.limit = c.limit;
+  opts.runThreads = c.runThreads;
   if (c.observe) c.observe(opts);
   RunRecord out;
   out.run = runSession(g, p, opts);

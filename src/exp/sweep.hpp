@@ -66,6 +66,9 @@ struct CaseSpec {
   double nOverK = 2.0;  ///< default sizing n = k * nOverK for size-unbound specs
   PortLabeling labeling = PortLabeling::RandomPermutation;
   std::uint64_t limit = 0;  ///< round/activation cap; 0 = auto (RunOptions)
+  /// Intra-run worker lanes (RunOptions::runThreads): 1 = serial, 0 =
+  /// hardware.  SYNC only; facts are lane-count invariant.
+  unsigned runThreads = 1;
   /// Observer plumbing: when set, invoked on the run's RunOptions right
   /// before runSession, to attach onEvent/onRound/... hooks (BatchRunner
   /// binds its BatchOptions::observe hook here per replicate).

@@ -10,11 +10,15 @@ Cli::Cli(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        flags_[arg.substr(2)] = "1";
-      } else {
-        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      // Bare `--` and `--=value` would mint an empty flag key that no
+      // lookup can ever reach; reject instead of storing it silently.
+      if (key.empty()) {
+        throw std::invalid_argument("malformed flag '" + arg +
+                                    "': expected --name or --name=value");
       }
+      flags_[key] = eq == std::string::npos ? "1" : arg.substr(eq + 1);
     } else {
       positional_.push_back(std::move(arg));
     }
@@ -28,16 +32,58 @@ std::string Cli::str(const std::string& key, const std::string& fallback) const 
   return it == flags_.end() ? fallback : it->second;
 }
 
+namespace {
+
+[[noreturn]] void badNumber(const std::string& key, const std::string& token,
+                            const char* kind) {
+  throw std::invalid_argument("--" + key + ": not " + kind + ": '" + token + "'");
+}
+
+bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
 std::int64_t Cli::integer(const std::string& key, std::int64_t fallback) const {
   const auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::stoll(it->second);
+  const std::string& token = it->second;
+  // Full-token match only: raw std::stoll skips leading whitespace,
+  // accepts a '+' sign and ignores trailing garbage ("4x" -> 4) —
+  // inconsistent with parseU64 below.
+  const std::size_t lead = token.rfind('-', 0) == 0 ? 1 : 0;
+  if (token.size() == lead || !isDigit(token[lead])) {
+    badNumber(key, token, "an integer");
+  }
+  std::size_t used = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(token, &used);
+  } catch (const std::exception&) {
+    badNumber(key, token, "an integer");
+  }
+  if (used != token.size()) badNumber(key, token, "an integer");
+  return v;
 }
 
 double Cli::real(const std::string& key, double fallback) const {
   const auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string& token = it->second;
+  // Full-token match only; the first-character gate also rejects the
+  // "nan"/"inf" spellings std::stod would accept.
+  const std::size_t lead = token.rfind('-', 0) == 0 ? 1 : 0;
+  if (token.size() == lead || !(isDigit(token[lead]) || token[lead] == '.')) {
+    badNumber(key, token, "a number");
+  }
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    badNumber(key, token, "a number");
+  }
+  if (used != token.size()) badNumber(key, token, "a number");
+  return v;
 }
 
 namespace {

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "algo/placement.hpp"
+#include "algo/runner.hpp"
 #include "exp/batch_runner.hpp"
 #include "exp/sink.hpp"
 #include "exp/sweep.hpp"
@@ -207,6 +208,82 @@ TEST(RunDispersion, ConcurrentRunsOnSharedGraphsAreBitIdentical) {
   for (std::size_t i = 0; i < configs.size(); ++i) {
     expectSameRun(serial[i], concurrent[i], "config " + std::to_string(i));
     EXPECT_TRUE(serial[i].dispersed) << i;
+  }
+}
+
+// The --run-threads contract (DESIGN.md §9): intra-run lanes change
+// wallclock only.  Facts AND the typed trace stream must be byte-identical
+// between serial and 8-lane runs, on every registered protocol — SYNC ones
+// exercise the staged round executor; ASYNC ones pin the documented
+// "ignored" behavior.  Runs under the TSan CI job via the *Parallel* filter.
+TEST(RunThreadsParallel, FactsAndTracesAreLaneCountInvariantOnEveryAlgorithm) {
+  struct Case {
+    const char* algo;
+    const char* placement;
+    std::uint32_t k;
+  };
+  // SYNC sizes cross the engine's parallel staging/commit thresholds
+  // (>=256 staged moves or oscillators per round); ASYNC sizes stay small
+  // (lanes are a no-op there, and epochs are expensive).
+  const Case cases[] = {
+      {"rooted_sync", "rooted", 400},      {"general_sync", "clusters:l=4", 300},
+      {"ks_sync", "rooted", 300},          {"rooted_async", "rooted", 32},
+      {"general_async", "clusters:l=3", 32}, {"ks_async", "rooted", 32},
+  };
+  const auto runWithLanes = [](const Case& c, unsigned lanes,
+                               std::vector<TraceEvent>& events) {
+    RunOptions opts;
+    opts.algorithm = c.algo;
+    opts.seed = 5;
+    opts.runThreads = lanes;
+    opts.onEvent = [&events](const TraceEvent& e) { events.push_back(e); };
+    return runScenario("er", c.placement, c.k, opts);
+  };
+  for (const Case& c : cases) {
+    std::vector<TraceEvent> serialEvents, parallelEvents;
+    const RunResult serial = runWithLanes(c, 1, serialEvents);
+    const RunResult parallel = runWithLanes(c, 8, parallelEvents);
+    expectSameRun(serial, parallel, c.algo);
+    EXPECT_TRUE(serial.dispersed) << c.algo;
+    ASSERT_EQ(serialEvents.size(), parallelEvents.size()) << c.algo;
+    for (std::size_t i = 0; i < serialEvents.size(); ++i) {
+      const TraceEvent& a = serialEvents[i];
+      const TraceEvent& b = parallelEvents[i];
+      const bool same = a.kind == b.kind && a.time == b.time && a.agent == b.agent &&
+                        a.node == b.node && a.a == b.a && a.b == b.b;
+      ASSERT_TRUE(same) << c.algo << " trace event " << i << " drifted";
+    }
+  }
+}
+
+// BatchOptions.runThreads plumbs through CaseSpec into every run of a
+// sweep; the cells must stay bit-identical to the all-serial sweep.
+TEST(RunThreadsParallel, BatchRunnerSweepIsRunThreadsInvariant) {
+  SweepSpec spec;
+  spec.name = "rt";
+  spec.graphs = {"er"};
+  spec.ks = {300};
+  spec.algorithms = {"rooted_sync"};
+  spec.seeds = {1, 2};
+
+  BatchOptions serialOpts;
+  serialOpts.threads = 1;
+  const SweepResult serial = BatchRunner(serialOpts).run(spec);
+
+  BatchOptions lanedOpts;
+  lanedOpts.threads = 1;  // one axis at a time (disp_bench enforces this)
+  lanedOpts.runThreads = 4;
+  const SweepResult laned = BatchRunner(lanedOpts).run(spec);
+
+  ASSERT_EQ(serial.cells.size(), laned.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const Cell& a = serial.cells[i];
+    const Cell& b = laned.cells[i];
+    ASSERT_EQ(a.replicates.size(), b.replicates.size());
+    for (std::size_t r = 0; r < a.replicates.size(); ++r) {
+      expectSameRun(a.replicates[r].run, b.replicates[r].run,
+                    a.key.describe() + " seed=" + std::to_string(spec.seeds[r]));
+    }
   }
 }
 

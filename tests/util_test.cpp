@@ -201,6 +201,55 @@ TEST(Cli, U64ListRejectsNonNumbers) {
   EXPECT_THROW((void)cli.u64list("d"), std::invalid_argument);
 }
 
+TEST(Cli, IntegerIsStrict) {
+  const char* argv[] = {"prog", "--a=4x",  "--b= 4", "--c=+4",
+                        "--d=-12", "--e=0x10", "--f="};
+  const Cli cli(7, argv);
+  EXPECT_THROW((void)cli.integer("a", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.integer("b", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.integer("c", 0), std::invalid_argument);
+  EXPECT_EQ(cli.integer("d", 0), -12);
+  EXPECT_THROW((void)cli.integer("e", 0), std::invalid_argument);  // no hex
+  EXPECT_THROW((void)cli.integer("f", 0), std::invalid_argument);
+  EXPECT_EQ(cli.integer("missing", 7), 7);
+}
+
+TEST(Cli, IntegerErrorNamesTheFlag) {
+  const char* argv[] = {"prog", "--threads=4x"};
+  const Cli cli(2, argv);
+  try {
+    (void)cli.integer("threads", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4x"), std::string::npos);
+  }
+}
+
+TEST(Cli, RealIsStrict) {
+  const char* argv[] = {"prog",     "--a=0.5x", "--b=1e3", "--c=.5",
+                        "--d=-0.25", "--e=nan",  "--f=inf", "--g= 1"};
+  const Cli cli(8, argv);
+  EXPECT_THROW((void)cli.real("a", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cli.real("b", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(cli.real("c", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(cli.real("d", 0.0), -0.25);
+  EXPECT_THROW((void)cli.real("e", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.real("f", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.real("g", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cli.real("missing", 2.5), 2.5);
+}
+
+TEST(Cli, RejectsEmptyFlagNames) {
+  const char* bare[] = {"prog", "--"};
+  EXPECT_THROW(Cli(2, bare), std::invalid_argument);
+  const char* keyless[] = {"prog", "--=value"};
+  EXPECT_THROW(Cli(2, keyless), std::invalid_argument);
+  // Plain positionals (and single dashes) are still fine.
+  const char* ok[] = {"prog", "-", "input.g"};
+  EXPECT_EQ(Cli(3, ok).positional().size(), 2u);
+}
+
 TEST(Cli, ParseU64IsStrict) {
   EXPECT_EQ(parseU64("42", "x"), 42u);
   EXPECT_THROW((void)parseU64("", "x"), std::invalid_argument);
