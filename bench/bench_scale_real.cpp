@@ -1,0 +1,7 @@
+// E19 — web-scale ingest & peak-RSS campaign (body:
+// src/exp/benches_scale.cpp).  Datasets: scripts/make_scale_data.sh.
+#include "exp/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("scale_real", argc, argv);
+}

@@ -22,7 +22,8 @@ void printUsage(std::ostream& os) {
         "                  <sweep>... | all\n\n"
         "sweeps:\n";
   for (const auto& def : disp::exp::benchRegistry()) {
-    os << "  " << def.name << "\n      " << def.summary << "\n";
+    os << "  " << def.name << (def.heavy ? "  (excluded from `all`)" : "")
+       << "\n      " << def.summary << "\n";
   }
   os << "\n--seeds replicates add per-cell \"±95\" CI columns to the tables.\n"
         "--trace streams every run's typed events + sampled snapshots as\n"
@@ -61,7 +62,9 @@ int main(int argc, char** argv) {
     }
     if (names.size() == 1 && names[0] == "all") {
       names.clear();
-      for (const auto& def : disp::exp::benchRegistry()) names.push_back(def.name);
+      for (const auto& def : disp::exp::benchRegistry()) {
+        if (!def.heavy) names.push_back(def.name);  // campaigns opt in by name
+      }
     }
     return disp::exp::runBenches(names, cli);
   } catch (const std::exception& e) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fetch-or-generate the scale-campaign datasets under bench/data/ (the
+# directory is gitignored: these are hundreds of MB).  Everything is
+# generated locally with disp_datagen from seeded specs, so "fetch" is just
+# a cache check — a dataset that already exists is left untouched and two
+# machines running this script materialize byte-identical files.
+#
+#   scripts/make_scale_data.sh [build_dir]
+#
+# Datasets (Graphalytics .v/.e pairs, consumed as `file:bench/data/NAME.e`):
+#   ba_1e6   Barabási–Albert, n = 10^6, d = 4   (CI scale-smoke + tests)
+#   ba_1e7   Barabási–Albert, n = 10^7, d = 4   (scale_real ingest cell)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DATA_DIR="${REPO_ROOT}/bench/data"
+
+cd "${REPO_ROOT}"
+if [ ! -x "${BUILD_DIR}/disp_datagen" ]; then
+  echo "error: ${BUILD_DIR}/disp_datagen not found — build first" \
+       "(cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+mkdir -p "${DATA_DIR}"
+
+materialize() {
+  local name="$1" spec="$2" seed="$3"
+  if [ -f "${DATA_DIR}/${name}.v" ] && [ -f "${DATA_DIR}/${name}.e" ]; then
+    echo "${name}: cached"
+    return
+  fi
+  echo "${name}: generating (${spec}, seed=${seed})"
+  # Write to a temp base then rename, so a killed run never leaves a
+  # truncated pair that loadGraphalytics would half-parse.
+  rm -f "${DATA_DIR}/.${name}.tmp.v" "${DATA_DIR}/.${name}.tmp.e"
+  "${BUILD_DIR}/disp_datagen" --spec="${spec}" --seed="${seed}" \
+      --out="${DATA_DIR}/.${name}.tmp"
+  mv "${DATA_DIR}/.${name}.tmp.v" "${DATA_DIR}/${name}.v"
+  mv "${DATA_DIR}/.${name}.tmp.e" "${DATA_DIR}/${name}.e"
+}
+
+materialize ba_1e6 "ba:n=1000000,d=4" 7
+materialize ba_1e7 "ba:n=10000000,d=4" 7
+
+ls -lh "${DATA_DIR}"

@@ -1,7 +1,6 @@
 #include "algo/general_sync.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "algo/protocol_common.hpp"
 #include "graph/graph_algos.hpp"
@@ -14,11 +13,17 @@ GeneralSyncDispersion::GeneralSyncDispersion(SyncEngine& engine)
       st_(engine.agentCount()),
       widths_(BitWidths::forRun(4ULL * engine.agentCount(), engine.graph().maxDegree(),
                                 engine.agentCount())) {
-  // One group per initially occupied node.
-  std::set<NodeId> startNodes;
+  // One group per initially occupied node (ascending node order, as the
+  // historical std::set iteration produced).
+  std::vector<NodeId> startNodes;
+  startNodes.reserve(engine_.agentCount());
   for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
-    startNodes.insert(engine_.positionOf(a));
+    startNodes.push_back(engine_.positionOf(a));
   }
+  std::sort(startNodes.begin(), startNodes.end());
+  startNodes.erase(std::unique(startNodes.begin(), startNodes.end()),
+                   startNodes.end());
+  ledGroups_.assign(engine_.agentCount(), 0);
   for (const NodeId s : startNodes) {
     GroupCtx ctx;
     ctx.label = static_cast<Label>(groups_.size());
@@ -31,6 +36,8 @@ GeneralSyncDispersion::GeneralSyncDispersion(SyncEngine& engine)
       }
     }
     ctx.unsettled = ctx.total;
+    ++ledGroups_[ctx.leader];
+    unsettledTotal_ += ctx.unsettled;
     groups_.push_back(ctx);
   }
   probeNext_.assign(groups_.size(), kNoPort);
@@ -54,18 +61,33 @@ bool GeneralSyncDispersion::dispersed() const {
 }
 
 std::uint64_t GeneralSyncDispersion::agentBits(AgentIx a) const {
-  // id + label + flags + settler record (6 ports) + guest entry + checked.
-  std::uint64_t bits = widths_.id + widths_.count + 3 + 7ULL * widths_.port;
-  for (const auto& g : groups_) {
-    if (g.leader == a) bits += 2ULL * widths_.count + widths_.port;
-  }
-  return bits;
+  // id + label + flags + settler record (6 ports) + guest entry + checked,
+  // plus a constant-size leadership record (two size counters + head port)
+  // per group whose leader field is `a`.  ledGroups_ caches the group scan:
+  // the leader field changes only at construction and re-election, where
+  // the cache is maintained — so this is the historical sum, in O(1).
+  return widths_.id + widths_.count + 3 + 7ULL * widths_.port +
+         ledGroups_[a] * (2ULL * widths_.count + widths_.port);
 }
 
 void GeneralSyncDispersion::recordMemory() {
-  for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
+  // The ledger keeps a running max per agent, and an agent's bits change
+  // only when its ledGroups_ count moves (re-election).  So after one full
+  // flush, re-recording agents whose bits did not *rise* is a no-op; only
+  // re-elected leaders (memoryDirty_) need a fresh record.  This turns the
+  // historical O(k·ℓ) sweep per settle into O(k) once plus O(1) amortized.
+  if (!memoryPrimed_) {
+    for (AgentIx a = 0; a < engine_.agentCount(); ++a) {
+      engine_.memory().record(a, agentBits(a));
+    }
+    memoryPrimed_ = true;
+    memoryDirty_.clear();
+    return;
+  }
+  for (const AgentIx a : memoryDirty_) {
     engine_.memory().record(a, agentBits(a));
   }
+  memoryDirty_.clear();
 }
 
 // ------------------------------------------------------------- helpers
@@ -112,6 +134,7 @@ void GeneralSyncDispersion::settle(std::uint32_t gi, AgentIx a, NodeId at,
   s.checked = 0;
   s.firstChildPort = s.latestChildPort = s.nextSiblingPort = kNoPort;
   --groups_[gi].unsettled;
+  --unsettledTotal_;
   engine_.traceSettle(a, groups_[gi].label);
   recordMemory();
 }
@@ -321,6 +344,7 @@ Task GeneralSyncDispersion::collapseVisit(std::uint32_t gi, Label loserLabel,
   s.label = ctx.label;
   ++ctx.total;
   ++ctx.unsettled;
+  ++unsettledTotal_;
   --groups_[loserLabel].total;
   --groups_[loserLabel].treeSize;
   engine_.traceUnsettle(ls, loserLabel, ctx.label);
@@ -401,6 +425,7 @@ Task GeneralSyncDispersion::selfCollapseAndMarch(std::uint32_t gi,
   if (metPort != kNoPort) co_await moveGroup(gi, metPort);
   ctx.marchTarget = winner;
   ctx.marching = true;
+  ++marchingCount_;
   for (std::uint64_t guard = 0; guard < 1u << 20; ++guard) {
     if (ctx.dissolved) co_return;  // the winner absorbed us
     const std::uint32_t target = resolveGroup(ctx.marchTarget);
@@ -435,6 +460,9 @@ Task GeneralSyncDispersion::absorbMarchers(std::uint32_t gi) {
     // loop re-resolves their target through the dissolution chain and
     // delivers them to the eventual winner instead.
     if (ctx.frozen || ctx.dissolved) co_return;
+    // Nothing marching anywhere ⇒ the scan below finds nothing; skip it.
+    // marchingCount_ mirrors the `marching` flag's two mutation sites.
+    if (marchingCount_ == 0) co_return;
     std::int64_t marcher = -1;
     for (std::uint32_t mi = 0; mi < groups_.size(); ++mi) {
       if (groups_[mi].marching && !groups_[mi].dissolved &&
@@ -472,6 +500,7 @@ Task GeneralSyncDispersion::absorbMarchers(std::uint32_t gi) {
     m.dissolved = true;
     m.absorbedBy = gi;
     m.marching = false;
+    --marchingCount_;
     recordMemory();
   }
 }
@@ -585,12 +614,6 @@ Task GeneralSyncDispersion::retryPending(std::uint32_t gi) {
 Task GeneralSyncDispersion::groupFiber(std::uint32_t gi) {
   GroupCtx& ctx = groups_[gi];
 
-  const auto globalUnsettled = [this] {
-    std::uint32_t n = 0;
-    for (const auto& grp : groups_) n += grp.unsettled;
-    return n;
-  };
-
   // Settle the smallest-ID member at the start node.
   {
     const NodeId s = engine_.positionOf(ctx.leader);
@@ -620,14 +643,17 @@ Task GeneralSyncDispersion::groupFiber(std::uint32_t gi) {
         return st_[a].label == ctx.label && !st_[a].settled;
       });
       DISP_CHECK(fresh != kNoAgent, "no co-located candidate for leader re-election");
+      --ledGroups_[ctx.leader];
       ctx.leader = fresh;
+      ++ledGroups_[fresh];
+      memoryDirty_.push_back(fresh);  // bits rose; flushed by next recordMemory
     }
     co_await retryPending(gi);
     if (ctx.dissolved || ctx.frozen) continue;
     if (ctx.unsettled == 0) {
       // Dispersed (for now): stay reactive — marchers may still join, or a
       // winner may subsume this tree later.
-      if (globalUnsettled() == 0) co_return;
+      if (unsettledTotal_ == 0) co_return;
       co_await engine_.nextRound();
       continue;
     }

@@ -110,6 +110,14 @@ class GeneralSyncDispersion {
     const char* phase = "init";     // debug/test introspection only
   };
 
+ public:
+  /// Declared per-agent / per-group footprints, exported so the scale
+  /// campaign's RSS lower bound (exp/benches_scale.cpp) tracks the real
+  /// structs instead of hand-copied literals.
+  static constexpr std::size_t kAgentStateBytes = sizeof(AgentState);
+  static constexpr std::size_t kGroupCtxBytes = sizeof(GroupCtx);
+
+ private:
   Task groupFiber(std::uint32_t gi);
   Task probeStep(std::uint32_t gi);   // result in probeNext_[gi] / probeMet_[gi]
   Task returnGuests(std::uint32_t gi);
@@ -151,6 +159,17 @@ class GeneralSyncDispersion {
   std::vector<Port> probeNext_;
   std::vector<std::vector<std::pair<Label, Port>>> probeMet_;
   bool rescanFound_ = false;
+
+  // Exact O(1)/O(dirty) caches of quantities the protocol only ever derives
+  // by scanning all groups or all agents.  At web scale (k = 2^20, ℓ large)
+  // those scans turned recordMemory()/globalUnsettled() into the dominant
+  // cost; each cache below is maintained at the few mutation sites of the
+  // underlying field and is provably equal to the scan it replaces.
+  std::vector<std::uint32_t> ledGroups_;  // #groups whose leader field == a
+  std::vector<AgentIx> memoryDirty_;      // agents whose bits rose since flush
+  bool memoryPrimed_ = false;             // first recordMemory() ran (all k)
+  std::uint32_t unsettledTotal_ = 0;      // Σ_g groups_[g].unsettled
+  std::uint32_t marchingCount_ = 0;       // #groups with marching == true
 };
 
 }  // namespace disp

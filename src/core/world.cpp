@@ -11,8 +11,7 @@ World::World(const Graph& g, std::vector<NodeId> startPositions, std::vector<Age
     : graph_(&g),
       ids_(std::move(ids)),
       nodes_(g.nodeCount()),
-      view_(g.nodeCount()),
-      log_(g.nodeCount()) {
+      auxChunks_((g.nodeCount() + kAuxChunk - 1) / kAuxChunk) {
   DISP_REQUIRE(!startPositions.empty(), "need at least one agent");
   DISP_REQUIRE(startPositions.size() == ids_.size(), "positions/ids size mismatch");
   DISP_REQUIRE(startPositions.size() <= g.nodeCount(), "k must be <= n");
@@ -47,11 +46,28 @@ void World::applyMove(AgentIx a, Port p) {
   moveInternal(a, from, p);
 }
 
+World::ViewAux& World::auxAllocate(NodeId v) const {
+  const std::lock_guard<std::mutex> guard(auxMutex_);
+  // Only one lane can reach here for a given v (partition / node lock), so
+  // nodes_[v].aux is stable; the mutex guards the shared counter + chunks.
+  std::uint32_t slot = nodes_[v].aux;
+  if (slot == kNoAux) {
+    slot = auxCount_++;
+    const std::size_t chunk = slot / kAuxChunk;
+    if (!auxChunks_[chunk]) {
+      auxChunks_[chunk] = std::make_unique<ViewAux[]>(kAuxChunk);
+    }
+    nodes_[v].aux = slot;
+  }
+  return auxSlot(slot);
+}
+
 void World::materialize(NodeId v) const {
-  std::vector<AgentIx>& out = view_[v];
+  ViewAux& aux = auxFor(v);
+  std::vector<AgentIx>& out = aux.view;
   if (nodes_[v].viewState == kViewPendingLog) {
     // Replay the few pending ops into the still-sorted cache.
-    for (const AgentIx entry : log_[v]) {
+    for (const AgentIx entry : aux.log) {
       const AgentIx a = entry & ~kLogRemove;
       if (entry & kLogRemove) {
         const auto it = std::lower_bound(out.begin(), out.end(), a);
@@ -61,7 +77,7 @@ void World::materialize(NodeId v) const {
         out.insert(std::upper_bound(out.begin(), out.end(), a), a);
       }
     }
-    log_[v].clear();
+    aux.log.clear();
   } else {
     out.clear();
     // Push-front insertion makes the list *descending* whenever a group

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -66,7 +67,7 @@ class World {
   [[nodiscard]] const std::vector<AgentIx>& agentsAt(NodeId v) const {
     DISP_DCHECK(v < graph_->nodeCount(), "node out of range");
     if (nodes_[v].viewState != kViewClean) materialize(v);
-    return view_[v];
+    return auxSlot(nodes_[v].aux).view;
   }
 
   /// Number of agents at node v: O(1), never materializes the sorted view.
@@ -109,6 +110,12 @@ class World {
   // Log entries are the agent index with the top bit set for removals.
   static constexpr AgentIx kLogRemove = AgentIx{1} << 31;
 
+  /// No aux slot allocated yet for this node.
+  static constexpr std::uint32_t kNoAux = 0xffffffffu;
+  /// Aux-pool chunk size: big enough to amortize allocation, small enough
+  /// that sparse occupancy on a 10^7-node graph stays sparse in memory.
+  static constexpr std::size_t kAuxChunk = 4096;
+
   /// Per-agent hot state: one 16-byte cell per move endpoint.
   struct AgentCell {
     NodeId pos = kInvalidNode;
@@ -116,12 +123,51 @@ class World {
     AgentIx next = kNoAgent;  ///< intrusive occupancy-list links
     AgentIx prev = kNoAgent;
   };
-  /// Per-node hot state: list head, occupant count, sorted-view freshness.
+  /// Per-node hot state: list head, occupant count, sorted-view freshness,
+  /// and the node's slot in the on-demand view/log pool.  16 bytes — at
+  /// web scale the two per-node vectors this replaces (48 bytes of headers
+  /// per node, ~480 MB at n = 10^7) dominated the resident set.
   struct NodeCell {
     AgentIx head = kNoAgent;
     std::uint32_t count = 0;
+    std::uint32_t aux = kNoAux;
     std::uint8_t viewState = kViewRebuild;
   };
+
+ public:
+  /// Declared per-entity footprints, exported so the scale campaign's RSS
+  /// lower bound (exp/benches_scale.cpp) tracks the real structs instead
+  /// of hand-copied literals.
+  static constexpr std::size_t kAgentCellBytes = sizeof(AgentCell);
+  static constexpr std::size_t kNodeCellBytes = sizeof(NodeCell);
+
+ private:
+  /// Sorted occupancy view + pending-op log for one queried node.  Only
+  /// nodes that are ever materialized get one (at most the nodes agents
+  /// visit and query), pooled in fixed chunks.
+  struct ViewAux {
+    std::vector<AgentIx> view;
+    std::vector<AgentIx> log;
+  };
+
+  [[nodiscard]] ViewAux& auxSlot(std::uint32_t slot) const {
+    DISP_DCHECK(slot != kNoAux, "aux slot not allocated");
+    return auxChunks_[slot / kAuxChunk][slot % kAuxChunk];
+  }
+
+  /// Returns the node's ViewAux, allocating its slot on first use.  Safe
+  /// under the engine concurrency contract: a node's cell is only touched
+  /// by the lane that owns it (staging partition) or under its spinlock
+  /// (parallel commit); the pool itself (slot counter + chunk pointers) is
+  /// guarded by auxMutex_, and auxChunks_ is preallocated to its final
+  /// length so concurrent auxSlot() reads never race a vector growth.
+  [[nodiscard]] ViewAux& auxFor(NodeId v) const {
+    const std::uint32_t slot = nodes_[v].aux;
+    if (slot != kNoAux) return auxSlot(slot);
+    return auxAllocate(v);
+  }
+
+  ViewAux& auxAllocate(NodeId v) const;
 
   void materialize(NodeId v) const;
 
@@ -163,7 +209,9 @@ class World {
   void logOp(NodeId v, AgentIx entry) {
     NodeCell& node = nodes_[v];
     if (node.viewState == kViewRebuild) return;  // log already abandoned
-    std::vector<AgentIx>& log = log_[v];
+    // A non-rebuild state means materialize() ran for v, so its aux slot
+    // exists — logOp never allocates (and so never takes auxMutex_).
+    std::vector<AgentIx>& log = auxSlot(node.aux).log;
     if (log.size() >= kMaxPendingOps) {
       log.clear();
       node.viewState = kViewRebuild;
@@ -177,10 +225,12 @@ class World {
   std::vector<AgentCell> agents_;
   std::vector<AgentId> ids_;
   mutable std::vector<NodeCell> nodes_;  // viewState flips on (const) queries
-  // Lazily-repaired sorted views of the occupancy lists plus the per-node
-  // pending-op logs (chronological).
-  mutable std::vector<std::vector<AgentIx>> view_;
-  mutable std::vector<std::vector<AgentIx>> log_;
+  // On-demand pool of sorted views + pending logs, chunked so growth never
+  // reallocates (auxChunks_ is sized to its final length up front); only
+  // queried nodes ever get a slot.
+  mutable std::vector<std::unique_ptr<ViewAux[]>> auxChunks_;
+  mutable std::uint32_t auxCount_ = 0;
+  mutable std::mutex auxMutex_;
   std::uint64_t totalMoves_ = 0;
   /// Per-node spinlocks for the parallel commit path, allocated lazily on
   /// the first parallel batch (kept outside NodeCell so cells stay small

@@ -8,6 +8,7 @@
 
 #include "core/scheduler.hpp"
 #include "graph/spec.hpp"
+#include "util/mem.hpp"
 
 namespace disp::exp {
 
@@ -127,6 +128,10 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
     const std::size_t cellIx = owned[job / reps];
     const std::size_t repIx = job % reps;
     const CellKey& key = keys[cellIx];
+    // Serial sweeps attribute the RSS watermark per cell: jobs run in
+    // order, so repIx == 0 is the moment just before this cell's work.
+    const bool sampleRss = options_.resetPeakRss && options_.threads == 1;
+    if (sampleRss && repIx == 0) (void)disp::resetPeakRss();
     CaseSpec c;
     c.graph = key.graph;
     c.k = key.k;
@@ -169,6 +174,7 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
         if (r.error.empty()) times.push_back(double(r.run.time));
       }
       cell.time = summarize(times);
+      if (sampleRss) cell.peakRssMb = disp::peakRssMb();
       if (options_.onCellDone) {
         const std::lock_guard<std::mutex> lock(cellDoneMutex);
         options_.onCellDone(cell);

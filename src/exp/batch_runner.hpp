@@ -42,6 +42,13 @@ struct BatchOptions {
   /// to JSONL so a killed run keeps its completed cells.  Never invoked
   /// for cells outside this shard.
   std::function<void(const Cell&)> onCellDone;
+  /// Memory telemetry: when true and threads == 1 (cells run one at a
+  /// time, in order), the kernel peak-RSS watermark is reset right before
+  /// each cell's first replicate and sampled into Cell::peakRssMb after
+  /// its last — a per-cell high-water mark that still counts everything
+  /// resident (shared Graph included).  Under concurrent cells the sample
+  /// would be cross-cell noise, so it is skipped (peakRssMb stays 0).
+  bool resetPeakRss = false;
   /// Observer plumbing: when set, invoked for every (cell, replicate)
   /// right before its run to install trace/snapshot hooks on the run's
   /// RunOptions.  Called concurrently from worker threads — both the hook

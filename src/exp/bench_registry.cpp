@@ -46,6 +46,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchWallclock},
       {"scaling", "E18: single-run wallclock vs --run-threads lanes (telemetry)",
        &benchScaling},
+      {"scale_real", "E19: web-scale ingest & peak-RSS campaign (n=10^6..10^7)",
+       &benchScaleReal, /*heavy=*/true},
       {"trace_smoke", "E16: tiny observed cells (drives --trace / check_trace.sh)",
        &benchTraceSmoke},
       {"scenario", "E17: ad-hoc workloads from --graphs/--placements/--ks specs",

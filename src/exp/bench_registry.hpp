@@ -48,6 +48,9 @@ struct BenchDef {
   const char* name;
   const char* summary;
   void (*fn)(BenchContext&);
+  /// Excluded from `disp_bench all`: must be named explicitly (multi-GB /
+  /// multi-minute campaigns like scale_real).
+  bool heavy = false;
 };
 
 [[nodiscard]] const std::vector<BenchDef>& benchRegistry();

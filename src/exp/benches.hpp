@@ -23,6 +23,10 @@ void benchTable1Scale(BenchContext& ctx);         // E15
 // cell; enforces lane-count fact invariance (benches_scale.cpp).
 void benchScaling(BenchContext& ctx);             // E18
 
+// Web-scale ingest & memory campaign: peak-RSS-annotated general SYNC
+// cells on 10^6..10^7-node graphs (benches_scale.cpp).
+void benchScaleReal(BenchContext& ctx);           // E19
+
 // Figure / lemma probes (benches_figs.cpp).
 void benchFig1EmptySelection(BenchContext& ctx);  // E6
 void benchFig2Oscillation(BenchContext& ctx);     // E7

@@ -9,6 +9,7 @@
 #include "exp/benches.hpp"
 #include "graph/spec.hpp"
 #include "util/check.hpp"
+#include "util/mem.hpp"
 
 namespace disp::exp {
 
@@ -154,8 +155,11 @@ void benchWallclock(BenchContext& ctx) {
       {"general_sync", "round_robin", 128, 4},
   };
   Table t({"algo", "sched", "k", "l", "rt", "runs", "total_ms", "ms/run", "Mact/s",
-           "Mmoves/s"});
+           "Mmoves/s", "peak_rss_mb"});
   for (const Config& cfg : configs) {
+    // Per-config peak RSS (telemetry like ms): watermark reset before the
+    // graph build so the row covers everything the config touches.
+    (void)disp::resetPeakRss();
     const Graph g = makeGraph("er", 2 * cfg.k, 7);
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t runs = 0;
@@ -192,7 +196,8 @@ void benchWallclock(BenchContext& ctx) {
         .cell(elapsedMs, 1)
         .cell(elapsedMs / double(runs), 3)
         .cell(double(activations) / seconds / 1e6, 2)
-        .cell(double(moves) / seconds / 1e6, 2);
+        .cell(double(moves) / seconds / 1e6, 2)
+        .cell(disp::peakRssMb(), 1);
   }
   emitTable(ctx, name, "simulator wall-clock per dispersion run", t);
 }

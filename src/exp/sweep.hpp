@@ -146,6 +146,10 @@ struct Cell {
   CellKey key;
   std::vector<RunRecord> replicates;
   Summary time;  ///< rounds (SYNC) / epochs (ASYNC) over non-errored replicates
+  /// Process peak RSS (MiB) sampled when the cell's last replicate landed,
+  /// with the kernel watermark reset before its first.  0 unless requested
+  /// (BatchOptions::resetPeakRss) and attributable (serial cells).
+  double peakRssMb = 0.0;
 
   /// False for cells skipped by sharding (no replicates executed here).
   [[nodiscard]] bool ran() const { return !replicates.empty(); }

@@ -167,6 +167,168 @@ GraphBuilder makeErdosRenyiConnected(std::uint32_t n, double p, std::uint64_t se
   return b;
 }
 
+namespace {
+
+/// Joins the builder's connected components with random cross edges, one
+/// per merge, components ordered by smallest member (deterministic given
+/// the rng state).  Cross-component edges can never duplicate an existing
+/// edge, so no membership set is needed.
+void connectComponents(GraphBuilder& b, std::uint32_t n, Rng& rng) {
+  std::vector<NodeId> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  const std::function<NodeId(NodeId)> find = [&](NodeId x) -> NodeId {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : b.edges()) parent[find(e.u)] = find(e.v);
+
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<std::uint32_t> compIx(n, kInvalidNode);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId r = find(i);
+    if (compIx[r] == kInvalidNode) {
+      compIx[r] = static_cast<std::uint32_t>(comps.size());
+      comps.emplace_back();
+    }
+    comps[compIx[r]].push_back(i);
+  }
+  while (comps.size() > 1) {
+    std::vector<NodeId>& first = comps[0];
+    std::vector<NodeId>& second = comps[1];
+    const NodeId u = first[rng.below(first.size())];
+    const NodeId v = second[rng.below(second.size())];
+    b.addEdge(u, v);
+    first.insert(first.end(), second.begin(), second.end());
+    comps.erase(comps.begin() + 1);
+  }
+}
+
+}  // namespace
+
+GraphBuilder makeBarabasiAlbert(std::uint32_t n, std::uint32_t d,
+                                std::uint64_t seed) {
+  DISP_REQUIRE(d >= 1 && n >= d + 2, "BA needs d >= 1 and n >= d+2");
+  Rng rng(seed ^ 0xba0baba5ULL);
+  GraphBuilder b(n);
+  // Every half-edge endpoint, appended as edges land: sampling a uniform
+  // entry is exactly degree-proportional preferential attachment.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(d) * n);
+  const std::uint32_t seedSize = d + 1;
+  for (std::uint32_t i = 0; i < seedSize; ++i) {
+    for (std::uint32_t j = i + 1; j < seedSize; ++j) {
+      b.addEdge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<NodeId> targets(d);
+  for (std::uint32_t v = seedSize; v < n; ++v) {
+    std::uint32_t chosen = 0;
+    while (chosen < d) {
+      const NodeId t = endpoints[rng.below(endpoints.size())];
+      bool fresh = true;
+      for (std::uint32_t i = 0; i < chosen; ++i) {
+        if (targets[i] == t) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) targets[chosen++] = t;
+    }
+    for (std::uint32_t i = 0; i < d; ++i) {
+      b.addEdge(v, targets[i]);
+      endpoints.push_back(v);
+      endpoints.push_back(targets[i]);
+    }
+  }
+  return b;  // connected by construction (attachment never leaves the core)
+}
+
+GraphBuilder makeRmat(std::uint32_t n, std::uint32_t edgeFactor,
+                      std::uint64_t seed) {
+  DISP_REQUIRE(n >= 2 && edgeFactor >= 1, "R-MAT needs n >= 2, edgeFactor >= 1");
+  Rng rng(seed ^ 0x4a7a7ULL);
+  std::uint32_t scale = 0;
+  while ((1ULL << scale) < n) ++scale;
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // d = 0.05 (Graph500)
+  const std::uint64_t want = static_cast<std::uint64_t>(n) * edgeFactor;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(want);
+  // Oversampling cap: duplicates and out-of-range/self draws are inherent
+  // to R-MAT; give up gracefully once the quadrant walk has had 16x tries.
+  const std::uint64_t maxAttempts = want * 16 + 1024;
+  for (std::uint64_t attempt = 0;
+       attempt < maxAttempts && edges.size() < want; ++attempt) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.real01();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left quadrant: no bits set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u >= n || v >= n || u == v) continue;
+    auto x = static_cast<NodeId>(u);
+    auto y = static_cast<NodeId>(v);
+    if (x > y) std::swap(x, y);
+    edges.emplace_back(x, y);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  GraphBuilder b(n);
+  for (const auto& [x, y] : edges) b.addEdge(x, y);
+  connectComponents(b, n, rng);
+  return b;
+}
+
+GraphBuilder makeErdosRenyiFast(std::uint32_t n, double p, std::uint64_t seed) {
+  DISP_REQUIRE(n >= 2, "ER graph needs >= 2 nodes");
+  DISP_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Rng rng(seed ^ 0xfa57e7d05ULL);
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    // Geometric skips over the row-major upper-triangle pair sequence:
+    // expected O(p * n^2) = O(m) draws instead of n^2 Bernoulli trials.
+    const double logq = std::log1p(-p);  // -inf at p == 1 -> skip always 0
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t row = 0;
+    std::uint64_t rowStart = 0;
+    std::uint64_t rowEnd = n - 1;  // pair indices [rowStart, rowEnd) are row 0
+    std::uint64_t idx = 0;
+    bool firstDraw = true;
+    for (;;) {
+      const double skip =
+          p >= 1.0 ? 0.0 : std::floor(std::log1p(-rng.real01()) / logq);
+      if (skip >= static_cast<double>(total)) break;  // cast would overflow
+      idx += static_cast<std::uint64_t>(skip) + (firstDraw ? 0 : 1);
+      firstDraw = false;
+      if (idx >= total) break;
+      while (idx >= rowEnd) {  // advance rows monotonically: O(n) overall
+        ++row;
+        rowStart = rowEnd;
+        rowEnd += n - 1 - row;
+      }
+      const std::uint64_t col = row + 1 + (idx - rowStart);
+      b.addEdge(static_cast<NodeId>(row), static_cast<NodeId>(col));
+    }
+  }
+  connectComponents(b, n, rng);
+  return b;
+}
+
 GraphBuilder makeRandomRegular(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
   DISP_REQUIRE(d >= 2 && d < n, "degree must be in [2, n)");
   DISP_REQUIRE(n * d % 2 == 0, "n*d must be even");

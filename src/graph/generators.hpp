@@ -40,6 +40,24 @@ namespace disp {
 /// n*d even, d < n).
 [[nodiscard]] GraphBuilder makeRandomRegular(std::uint32_t n, std::uint32_t d,
                                              std::uint64_t seed);
+/// Barabási–Albert preferential attachment: a (d+1)-clique seed, then every
+/// new node attaches to `d` distinct existing nodes sampled proportionally
+/// to degree (endpoint-list sampling).  Power-law degree tail, connected by
+/// construction, O(m) time and memory — the web-scale skewed workload.
+[[nodiscard]] GraphBuilder makeBarabasiAlbert(std::uint32_t n, std::uint32_t d,
+                                              std::uint64_t seed);
+/// R-MAT recursive-quadrant edge sampler (a=0.57, b=c=0.19, d=0.05 — the
+/// Graph500 mix), targeting ~n*edgeFactor distinct edges; duplicates are
+/// dropped, then components are joined like the ER generator.  O(m).
+[[nodiscard]] GraphBuilder makeRmat(std::uint32_t n, std::uint32_t edgeFactor,
+                                    std::uint64_t seed);
+/// O(m)-expected G(n, p) sampler using geometric skips over the ordered
+/// pair sequence — web-scale alternative to makeErdosRenyiConnected's
+/// O(n^2) Bernoulli sweep.  Same connectivity augmentation; a *different*
+/// random stream, so it is opt-in (GraphSpec `er:fast=1`), never a silent
+/// replacement of the baseline-pinned `er` draws.
+[[nodiscard]] GraphBuilder makeErdosRenyiFast(std::uint32_t n, double p,
+                                              std::uint64_t seed);
 /// Lollipop: K_c clique glued to a path of n-c nodes.
 [[nodiscard]] GraphBuilder makeLollipop(std::uint32_t n, std::uint32_t cliqueSize);
 /// Barbell: two K_c cliques joined by a path.

@@ -32,6 +32,7 @@ struct Edge {
 };
 
 class GraphBuilder;
+class TwoPassBuilder;
 
 class Graph {
  public:
@@ -69,19 +70,36 @@ class Graph {
     return {targets_.data() + offsets_[v], static_cast<std::size_t>(degree(v))};
   }
 
-  /// Port at v leading to u, or kNoPort if not adjacent.  O(δ_v).
+  /// Port at v leading to u, or kNoPort if not adjacent.  O(δ_v) linear
+  /// scan below kPortToIndexThreshold; O(log δ_v) via a per-node sorted
+  /// slot index above it (power-law hubs would otherwise pay O(Δ)).
   [[nodiscard]] Port portTo(NodeId v, NodeId u) const;
 
   /// Undirected edge list (each edge once, u <= v).
   [[nodiscard]] std::vector<Edge> edges() const;
 
+  /// Degrees above this use the sorted portTo index (facts are unchanged:
+  /// the index is a pure lookup accelerator over the same CSR slots).
+  static constexpr Port kPortToIndexThreshold = 32;
+
  private:
   friend class GraphBuilder;
+  friend class TwoPassBuilder;
+
+  /// Builds the high-degree portTo acceleration index (called by builders).
+  void buildPortToIndex();
+
   std::vector<std::uint32_t> offsets_;  // size n+1
   std::vector<NodeId> targets_;         // size 2m, port-ordered
   std::vector<Port> reverse_;           // size 2m
   std::uint64_t edgeCount_ = 0;
   Port maxDegree_ = 0;
+  // portTo fast path: for each node with degree > kPortToIndexThreshold (in
+  // ascending NodeId order), the global CSR slot indices of its row sorted
+  // by target id.  Empty on low-degree graphs — zero overhead there.
+  std::vector<NodeId> portIndexNodes_;
+  std::vector<std::uint64_t> portIndexOffsets_;   // size portIndexNodes_+1
+  std::vector<std::uint32_t> portIndexSlots_;
 };
 
 /// How ports are assigned when a Graph is materialized from an edge list.
@@ -116,6 +134,45 @@ class GraphBuilder {
  private:
   std::uint32_t n_;
   std::vector<Edge> edges_;
+};
+
+/// Degree-counting two-pass CSR builder for web-scale ingest: stream the
+/// edge list twice — countEdge() for every edge, beginEdges(), then
+/// addEdge() for the same edges — and the builder emits offsets_/targets_/
+/// reverse_ directly with insertion-order ports.  No intermediate edge
+/// vector: peak transient memory is the CSR itself plus one u32 cursor per
+/// node, versus GraphBuilder's ~3x (edge vector + per-edge port pairs).
+///
+/// Produces bit-identically the graph GraphBuilder::build(InsertionOrder)
+/// produces for the same edge sequence (a port is the per-node arrival
+/// index of the edge, which is exactly what the write cursors assign).
+/// Self-loops are rejected; duplicate rejection is the caller's job (the
+/// streaming loaders detect duplicates on their sorted rows before pass
+/// two), so finish() skips the O(m log m) validateGraph pass — the fuzz
+/// suite pins equivalence against the validating builder instead.
+class TwoPassBuilder {
+ public:
+  explicit TwoPassBuilder(std::uint32_t nodeCount);
+
+  /// Pass one: accumulate endpoint degrees for one edge.
+  void countEdge(NodeId u, NodeId v);
+
+  /// Seals pass one: prefix-sums degrees, allocates the CSR arrays.
+  void beginEdges();
+
+  /// Pass two: place one edge; ports follow per-node arrival order.
+  void addEdge(NodeId u, NodeId v);
+
+  /// Finalizes and returns the graph (pass-two edge count must match pass
+  /// one).  The builder is left empty.
+  [[nodiscard]] Graph finish();
+
+ private:
+  Graph g_;
+  std::vector<std::uint32_t> cursor_;  // next free slot per node (pass two)
+  std::uint64_t counted_ = 0;
+  std::uint64_t added_ = 0;
+  bool sealed_ = false;
 };
 
 /// True iff the port labeling satisfies the §8.2 assumption: for every edge

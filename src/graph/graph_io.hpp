@@ -50,6 +50,11 @@ void writeGraph(std::ostream& os, const Graph& g);
                                      const std::string& vSource = "<v-stream>",
                                      const std::string& eSource = "<e-stream>");
 
+/// Writes `base.v` (ids 0..n-1, one per line) and `base.e` (one `u v` per
+/// undirected edge) — the Graphalytics pair the readers above consume.
+/// Ports are not stored; reloading applies the deterministic labeling.
+void writeGraphalytics(const std::string& basePath, const Graph& g);
+
 void saveGraph(const std::string& path, const Graph& g);
 [[nodiscard]] Graph loadGraph(const std::string& path);      // dpg
 [[nodiscard]] Graph loadEdgeList(const std::string& path);

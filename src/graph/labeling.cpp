@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -12,13 +13,33 @@ namespace disp {
 
 namespace {
 
-/// Incidence list: for each node, the indices of its incident edges.
-std::vector<std::vector<std::uint32_t>> incidence(std::uint32_t n,
-                                                  const std::vector<Edge>& edges) {
-  std::vector<std::vector<std::uint32_t>> inc(n);
+/// Incidence in CSR form: for each node, the indices of its incident edges
+/// in ascending edge order (the same per-node order the historical
+/// vector-of-vectors produced, so every labeling below draws identical Rng
+/// streams).  Two flat arrays instead of n vector headers — at web scale
+/// the headers alone were ~24 bytes per node of pure overhead.
+struct IncidenceCsr {
+  std::vector<std::uint32_t> offsets;  // n + 1
+  std::vector<std::uint32_t> slots;    // 2m edge indices
+
+  [[nodiscard]] std::span<const std::uint32_t> at(std::uint32_t v) const {
+    return {slots.data() + offsets[v], slots.data() + offsets[v + 1]};
+  }
+};
+
+IncidenceCsr incidence(std::uint32_t n, const std::vector<Edge>& edges) {
+  IncidenceCsr inc;
+  inc.offsets.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++inc.offsets[e.u + 1];
+    ++inc.offsets[e.v + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) inc.offsets[v + 1] += inc.offsets[v];
+  inc.slots.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(inc.offsets.begin(), inc.offsets.end() - 1);
   for (std::uint32_t i = 0; i < edges.size(); ++i) {
-    inc[edges[i].u].push_back(i);
-    inc[edges[i].v].push_back(i);
+    inc.slots[cursor[edges[i].u]++] = i;
+    inc.slots[cursor[edges[i].v]++] = i;
   }
   return inc;
 }
@@ -42,8 +63,9 @@ std::vector<std::pair<Port, Port>> randomPorts(std::uint32_t n,
   const auto inc = incidence(n, edges);
   for (std::uint32_t v = 0; v < n; ++v) {
     const auto perm = rng.permutation(deg[v]);
-    for (std::size_t slot = 0; slot < inc[v].size(); ++slot) {
-      const std::uint32_t e = inc[v][slot];
+    const auto iv = inc.at(v);
+    for (std::size_t slot = 0; slot < iv.size(); ++slot) {
+      const std::uint32_t e = iv[slot];
       const Port p = perm[slot] + 1;
       if (edges[e].u == v) {
         out[e].first = p;
@@ -62,9 +84,8 @@ std::vector<std::pair<Port, Port>> randomPorts(std::uint32_t n,
 /// Throws if infeasible — e.g. K4 admits no §8.2 labeling: 4 nodes need 8
 /// low slots but only 6 edges exist.
 std::vector<std::vector<std::uint32_t>> matchLowSlots(
-    std::uint32_t n, const std::vector<Edge>& edges,
-    const std::vector<std::vector<std::uint32_t>>& inc, const std::vector<Port>& deg,
-    std::uint64_t seed) {
+    std::uint32_t n, const std::vector<Edge>& edges, const IncidenceCsr& inc,
+    const std::vector<Port>& deg, std::uint64_t seed) {
   Rng rng(seed ^ 0x51077ca7c4e5ULL);
 
   std::vector<std::uint32_t> leftNode;  // left index -> node (two slots/node)
@@ -83,7 +104,8 @@ std::vector<std::vector<std::uint32_t>> matchLowSlots(
   std::vector<std::vector<std::uint32_t>> pref(n);
   for (std::uint32_t v = 0; v < n; ++v) {
     if (deg[v] >= 3) {
-      pref[v] = inc[v];
+      const auto iv = inc.at(v);
+      pref[v].assign(iv.begin(), iv.end());
       rng.shuffle(pref[v]);
     }
   }
@@ -143,6 +165,7 @@ std::vector<std::pair<Port, Port>> constrainedPorts(std::uint32_t n,
       }
     };
 
+    const auto iv = inc.at(v);
     if (deg[v] >= 3) {
       // Ports 1..2 go to the two marked edges; the rest get a random
       // permutation of ports 3..deg.
@@ -151,15 +174,15 @@ std::vector<std::pair<Port, Port>> constrainedPorts(std::uint32_t n,
       put(low[0], 1);
       put(low[1], 2);
       std::vector<std::uint32_t> rest;
-      rest.reserve(inc[v].size() - 2);
-      for (const std::uint32_t e : inc[v]) {
+      rest.reserve(iv.size() - 2);
+      for (const std::uint32_t e : iv) {
         if (e != low[0] && e != low[1]) rest.push_back(e);
       }
       const auto perm = rng.permutation(static_cast<std::uint32_t>(rest.size()));
       for (std::size_t i = 0; i < rest.size(); ++i) put(rest[i], perm[i] + 3);
     } else {
-      const auto perm = rng.permutation(static_cast<std::uint32_t>(inc[v].size()));
-      for (std::size_t i = 0; i < inc[v].size(); ++i) put(inc[v][i], perm[i] + 1);
+      const auto perm = rng.permutation(static_cast<std::uint32_t>(iv.size()));
+      for (std::size_t i = 0; i < iv.size(); ++i) put(iv[i], perm[i] + 1);
     }
   }
   return out;

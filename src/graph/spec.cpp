@@ -86,7 +86,17 @@ GraphBuilder makeFamEr(const GraphSpec& s, std::uint32_t n, std::uint64_t seed) 
   // Expected degree ~ 2 ln n: safely above the connectivity threshold.
   const double p = s.real(
       "p", std::min(1.0, 2.0 * std::log(std::max(2.0, double(n))) / double(n)));
+  // fast=1 opts into the O(m) geometric-skip sampler for web-scale n.  It
+  // draws a different random stream, so the bare `er` baseline cells are
+  // untouched by construction.
+  if (s.u32("fast", 0) != 0) return makeErdosRenyiFast(n, p, seed);
   return makeErdosRenyiConnected(n, p, seed);
+}
+GraphBuilder makeFamBa(const GraphSpec& s, std::uint32_t n, std::uint64_t seed) {
+  return makeBarabasiAlbert(n, s.u32("d", 4), seed);
+}
+GraphBuilder makeFamRmat(const GraphSpec& s, std::uint32_t n, std::uint64_t seed) {
+  return makeRmat(n, s.u32("ef", 8), seed);
 }
 GraphBuilder makeFamRegular(const GraphSpec& s, std::uint32_t n, std::uint64_t seed) {
   const std::uint32_t d = s.u32("d", (n * 4 % 2 == 0) ? 4 : 3);
@@ -115,8 +125,20 @@ std::deque<GraphFamilyDef>& mutableRegistry() {
        {"spine", "legs"}, &makeFamCaterpillar},
       {"grid", "2D grid", {"rows", "cols"}, {"rows", "cols"}, &makeFamGrid},
       {"hypercube", "hypercube Q_dims", {"dims"}, {"dims"}, &makeFamHypercube},
-      {"er", "Erdős–Rényi G(n,p) conditioned on connectivity (seeded)", {"p"},
-       {}, &makeFamEr},
+      {"er",
+       "Erdős–Rényi G(n,p) conditioned on connectivity (seeded; fast=1 "
+       "selects the O(m) web-scale sampler)",
+       {"p", "fast"},
+       {},
+       &makeFamEr},
+      {"ba", "Barabási–Albert preferential attachment (power-law, seeded)",
+       {"d"},
+       {},
+       &makeFamBa},
+      {"rmat", "R-MAT recursive-quadrant sampler (Graph500 mix, seeded)",
+       {"ef"},
+       {},
+       &makeFamRmat},
       {"regular", "random d-regular graph (seeded)", {"d"}, {}, &makeFamRegular},
       {"lollipop", "clique glued to a path", {"clique"}, {}, &makeFamLollipop},
       {"barbell", "two cliques joined by a path", {"clique", "path"}, {},

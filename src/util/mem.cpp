@@ -1,0 +1,86 @@
+#include "util/mem.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace disp {
+namespace {
+
+// Reads a "VmXXX:  12345 kB" line from /proc/self/status; returns kB or -1.
+#if defined(__linux__)
+long readProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  const std::size_t keyLen = std::strlen(key);
+  long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, keyLen) == 0 && line[keyLen] == ':') {
+      if (std::sscanf(line + keyLen + 1, "%ld", &kb) != 1) kb = -1;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+#endif
+
+double rusageMaxRssMb() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace
+
+double currentRssMb() {
+#if defined(__linux__)
+  const long kb = readProcStatusKb("VmRSS");
+  if (kb >= 0) return static_cast<double>(kb) / 1024.0;
+#endif
+  return 0.0;
+}
+
+double peakRssMb() {
+#if defined(__linux__)
+  const long kb = readProcStatusKb("VmHWM");
+  if (kb >= 0) return static_cast<double>(kb) / 1024.0;
+#endif
+  return rusageMaxRssMb();
+}
+
+bool resetPeakRss() {
+#if defined(__GLIBC__)
+  // Freed-but-retained allocator pages stay resident, so without a trim the
+  // cleared watermark floors at the *previous* phase's footprint and every
+  // later peak reads as that slack (one sweep's big graph contaminates the
+  // next graph's numbers in the same process).  Return them to the OS first:
+  // the reset watermark then starts from live bytes.
+  (void)malloc_trim(0);
+#endif
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace disp

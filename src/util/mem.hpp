@@ -1,0 +1,27 @@
+#pragma once
+// Process-memory probe: resident-set telemetry for the scale campaign.
+//
+// Linux exposes the current resident set (VmRSS) and its high-water mark
+// (VmHWM) in /proc/self/status; VmHWM can be reset by writing "5" to
+// /proc/self/clear_refs, which is what lets a sweep attribute a peak to one
+// cell instead of to everything that ran before it.  Where /proc is not
+// available we fall back to getrusage(RU_MAXRSS), which cannot be reset.
+//
+// All values are reported in MiB as doubles; 0.0 means "unavailable".
+
+namespace disp {
+
+/// Current resident set size in MiB (VmRSS), or 0.0 if unavailable.
+[[nodiscard]] double currentRssMb();
+
+/// Peak resident set size in MiB (VmHWM, falling back to getrusage
+/// ru_maxrss), or 0.0 if unavailable.
+[[nodiscard]] double peakRssMb();
+
+/// Resets the kernel's peak-RSS watermark to the current RSS so a
+/// subsequent peakRssMb() attributes the high water to work done after this
+/// call.  Returns false when the platform cannot reset (the watermark then
+/// stays monotone over the whole process lifetime).
+bool resetPeakRss();
+
+}  // namespace disp
