@@ -1,0 +1,6 @@
+// E20 — fault campaign scorecard (body: src/exp/benches_faults.cpp).
+#include "exp/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  return disp::exp::benchMain("faults", argc, argv);
+}

@@ -18,7 +18,7 @@ void printUsage(std::ostream& os) {
         "                  [--seeds=a,b,c] [--jsonl=PATH]\n"
         "                  [--trace=PATH | --trajectory=PATH] [--sample=N]\n"
         "                  [--graphs=SPEC;SPEC] [--placements=SPEC;SPEC]\n"
-        "                  [--ks=a,b,c] [--shard=I/N]\n"
+        "                  [--ks=a,b,c] [--faults=SPEC;SPEC] [--shard=I/N]\n"
         "                  <sweep>... | all\n\n"
         "sweeps:\n";
   for (const auto& def : disp::exp::benchRegistry()) {
@@ -34,6 +34,10 @@ void printUsage(std::ostream& os) {
         "  --graphs='er:n=2048,p=0.01;file:roads.e'\n"
         "  --placements='rooted;clusters:l=8;adversarial:far'\n"
         "(the `scenario` sweep is the blank canvas for these).\n"
+        "--faults overrides a sweep's fault-load axis with ';'-separated\n"
+        "FaultSpec strings (default: none) — e.g.\n"
+        "  --faults='none;crash:rate=0.25,restart=64;churn:edges=4,every=32'\n"
+        "(the `faults` sweep is the self-stabilization scorecard).\n"
         "--shard=I/N runs every Nth cell of the deterministic enumeration;\n"
         "merge shard JSONL outputs with scripts/merge_jsonl.sh.\n"
         "--run-threads=N parallelizes inside each SYNC run (facts stay\n"

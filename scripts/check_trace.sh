@@ -9,9 +9,10 @@
 # stream: event times non-decreasing, settle/collapse balance never
 # negative, and — for streams that close cleanly (engines always end a
 # completed run with a terminal "sample" line; a limit-hit replicate's
-# stream ends mid-events instead) — the final sampled settled count equals
-# the stream's settle-collapse balance.  Exits nonzero with a diagnostic
-# on the first violation.
+# stream ends mid-events instead, except under fault injection where the
+# limit is a reported verdict and the stream still closes) — the final
+# sampled settled count equals the stream's settle-collapse balance.
+# Exits nonzero with a diagnostic on the first violation.
 set -euo pipefail
 
 TRACE="${1:?usage: scripts/check_trace.sh <trace.jsonl>}"
@@ -21,7 +22,8 @@ import json, sys
 
 path = sys.argv[1]
 KINDS = {"move", "settle", "meeting", "subsume", "collapse", "freeze",
-         "oscillation_duty", "sample"}
+         "oscillation_duty", "fault_crash", "fault_restart", "fault_edge",
+         "fault_silent", "sample"}
 EVENT_KEYS = {"cell", "seed", "event", "t", "agent", "node", "a", "b"}
 SAMPLE_KEYS = {"cell", "seed", "event", "t", "epochs", "settled", "moves"}
 

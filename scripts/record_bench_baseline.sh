@@ -15,6 +15,12 @@
 # BENCH_scale_real.json.  Its memory/wallclock columns are telemetry too;
 # run scripts/make_scale_data.sh first so the 10^7-node file cells are
 # included (they are skipped with a note otherwise).
+#
+# And the `faults` campaign (E20: fault loads vs protocols) into
+# BENCH_faults.json — the self-stabilization scorecard, with per-cell
+# recovered / recovered_at verdict columns.  Its rows are seed-deterministic
+# facts (like Table 1), so re-recording on any machine reproduces them
+# byte-identically.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -22,6 +28,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="${REPO_ROOT}/BENCH_table1.json"
 SCALING_OUT="${REPO_ROOT}/BENCH_scaling.json"
 SCALE_REAL_OUT="${REPO_ROOT}/BENCH_scale_real.json"
+FAULTS_OUT="${REPO_ROOT}/BENCH_faults.json"
 
 SWEEPS=(table1_sync_rooted table1_sync_general table1_async_rooted
         table1_async_general table1_memory)
@@ -102,7 +109,8 @@ EOF
 # defaults.
 SCALE_REAL_JSONL="$(mktemp)"
 SCALE_REAL_PART="$(mktemp)"
-trap 'rm -f "${JSONL}" "${SCALING_JSONL}" "${SCALE_REAL_JSONL}" "${SCALE_REAL_PART}"' EXIT
+FAULTS_JSONL="$(mktemp)"
+trap 'rm -f "${JSONL}" "${SCALING_JSONL}" "${SCALE_REAL_JSONL}" "${SCALE_REAL_PART}" "${FAULTS_JSONL}"' EXIT
 for spec in "er:fast=1,n=1048576" "ba:n=1048576" "rmat:n=1048576" \
             "file:bench/data/ba_1e7.e"; do
   "${BUILD_DIR}/disp_bench" scale_real --graphs="${spec}" --threads=1 \
@@ -140,5 +148,33 @@ with open(out_path, "w") as f:
     f.write("\n")
 for name, bench in benches.items():
     print(f"{name}: {len(bench['rows'])} rows, {len(bench['notes'])} notes")
+print(f"wrote {out_path}")
+EOF
+
+# Fault campaign (E20): the self-stabilization scorecard.  Every column is
+# a seed-deterministic fact (verdicts, fault counts, recovery times), so
+# the snapshot is reproducible byte-for-byte like the Table 1 sweeps.
+"${BUILD_DIR}/disp_bench" faults --jsonl="${FAULTS_JSONL}" > /dev/null
+
+python3 - "${FAULTS_JSONL}" "${FAULTS_OUT}" faults <<'EOF'
+import json, sys
+
+jsonl_path, out_path, sweeps = sys.argv[1], sys.argv[2], sys.argv[3:]
+benches = {f"bench_{name}": {"rows": [], "fits": []} for name in sweeps}
+with open(jsonl_path) as f:
+    for line in f:
+        rec = json.loads(line)
+        key = f"bench_{rec.pop('sweep')}"
+        rec.pop("table", None)
+        benches[key]["rows"].append(rec)
+
+snapshot = {"scale": 1.0, "benches": benches}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=1)
+    f.write("\n")
+for name, bench in benches.items():
+    rows = bench["rows"]
+    recovered = sum(1 for r in rows if r.get("recovered") == "yes")
+    print(f"{name}: {len(rows)} rows ({recovered} recovered)")
 print(f"wrote {out_path}")
 EOF

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include <memory>
+
 #include "algo/registry.hpp"
 #include "core/async_engine.hpp"
+#include "core/faults.hpp"
 #include "core/scheduler.hpp"
 #include "core/sync_engine.hpp"
 #include "graph/spec.hpp"
@@ -74,6 +77,44 @@ EngineObserver buildObserver(const RunOptions& opts, bool async,
   return obs;
 }
 
+/// Runs the engine.  Under faults a protocol whose belief desynced (vetoed
+/// moves, crashed peers) may violate its own DISP_CHECK invariants; that is
+/// a robustness verdict, not a harness bug — report the message instead of
+/// throwing.  Fault-free runs keep throwing (invariants then mean bugs).
+template <typename Engine>
+std::string runEngine(Engine& engine, std::uint64_t limit, bool faulted) {
+  if (!faulted) {
+    engine.run(limit);
+    return {};
+  }
+  try {
+    engine.run(limit);
+    return {};
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+}
+
+/// Fills the fault-mode verdict fields.  Under faults the protocol's own
+/// dispersed() claim is re-checked against the actual configuration (its
+/// belief may have desynced from vetoed moves); without faults, recovery
+/// trivially mirrors dispersal.
+void fillFaultVerdicts(RunResult& r, const FaultInjector* inj, bool limitHit,
+                       std::string protocolError) {
+  if (inj == nullptr) {
+    r.recovered = r.dispersed;
+    return;
+  }
+  r.dispersed = r.dispersed && protocolError.empty() && isDispersed(r.finalPositions);
+  r.limitHit = limitHit;
+  r.faultsInjected = inj->applied();
+  r.protocolError = std::move(protocolError);
+  if (r.protocolError.empty()) {
+    r.recovered = inj->recovered();
+    r.recoveredAt = inj->recoveredAt();
+  }
+}
+
 }  // namespace
 
 RunResult runSession(const Graph& g, const Placement& placement,
@@ -92,6 +133,10 @@ RunResult runSession(const Graph& g, const Placement& placement,
 
   std::vector<TrajectoryPoint> trajectory;
 
+  // Fault load: parse once, materialize the seed-deterministic schedule per
+  // engine model (ASYNC time parameters scale by k; see FaultInjector).
+  const FaultSpec faultSpec = FaultSpec::parse(opts.faults);
+
   if (!def.traits.isAsync) {
     const std::uint64_t limit =
         opts.limit ? opts.limit : 20000ULL * k + 40ULL * g.edgeCount() + 400000;
@@ -99,10 +144,17 @@ RunResult runSession(const Graph& g, const Placement& placement,
     if (opts.runThreads != 1) engine.setRunThreads(opts.runThreads);
     EngineObserver obs = buildObserver(opts, /*async=*/false, &trajectory);
     if (obs.any()) engine.installObserver(std::move(obs));
+    std::unique_ptr<FaultInjector> inj;
+    if (faultSpec.any()) {
+      inj = std::make_unique<FaultInjector>(faultSpec, g, k, opts.seed,
+                                            /*async=*/false);
+      engine.installFaults(inj.get());
+    }
     const auto algo = def.makeSync(engine);
     algo->start();
-    engine.run(limit);
-    RunResult r = finishSync(engine, algo->dispersed());
+    std::string protoErr = runEngine(engine, limit, inj != nullptr);
+    RunResult r = finishSync(engine, protoErr.empty() && algo->dispersed());
+    fillFaultVerdicts(r, inj.get(), engine.limitHit(), std::move(protoErr));
     r.trajectory = std::move(trajectory);
     return r;
   }
@@ -114,10 +166,17 @@ RunResult runSession(const Graph& g, const Placement& placement,
                      makeSchedulerByName(opts.scheduler, k, opts.seed));
   EngineObserver obs = buildObserver(opts, /*async=*/true, &trajectory);
   if (obs.any()) engine.installObserver(std::move(obs));
+  std::unique_ptr<FaultInjector> inj;
+  if (faultSpec.any()) {
+    inj = std::make_unique<FaultInjector>(faultSpec, g, k, opts.seed,
+                                          /*async=*/true);
+    engine.installFaults(inj.get());
+  }
   const auto algo = def.makeAsync(engine);
   algo->start();
-  engine.run(limit);
-  RunResult r = finishAsync(engine, algo->dispersed());
+  std::string protoErr = runEngine(engine, limit, inj != nullptr);
+  RunResult r = finishAsync(engine, protoErr.empty() && algo->dispersed());
+  fillFaultVerdicts(r, inj.get(), engine.limitHit(), std::move(protoErr));
   r.trajectory = std::move(trajectory);
   return r;
 }

@@ -64,6 +64,15 @@ struct RunOptions {
   /// §9).  ASYNC algorithms ignore this — their activation stream is
   /// inherently sequential.
   unsigned runThreads = 1;
+  /// Fault load (core/faults.hpp grammar; DESIGN.md §11): "none", or e.g.
+  /// "crash:rate=0.25,restart=64", "churn:edges=4,every=32",
+  /// "silent:count=2".  The schedule is materialized from this spec, the
+  /// instance (graph, k) and `seed` — deterministic and runThreads-
+  /// invariant.  Under a fault load the run cannot hard-fail: the
+  /// round/activation cap becomes RunResult::limitHit, a protocol
+  /// invariant violation becomes RunResult::protocolError, and
+  /// RunResult::recovered/recoveredAt score self-stabilization.
+  std::string faults = "none";
 
   // --- observability (all optional; see core/trace.hpp) ---
   /// Typed trace-event stream, emitted by the engine and the protocol.

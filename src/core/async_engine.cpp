@@ -26,6 +26,18 @@ void AsyncEngine::move(AgentIx a, Port p) {
   DISP_CHECK(!inSetup_, "no moves before the first activation (time starts at t=0)");
   DISP_CHECK(!movedThisActivation_, "an activation allows at most one move");
   const NodeId from = world_.positionOf(a);
+  if (faults_ != nullptr) [[unlikely]] {
+    // Fault mode: the attempt consumes the activation's move budget whether
+    // or not it succeeds.  A port invalid for the agent's *actual* position
+    // (its protocol's belief desynced by an earlier vetoed move) or a
+    // churned-down edge makes this a failed traversal — the agent stays put.
+    movedThisActivation_ = true;
+    if (p < 1 || p > graph().degree(from)) return;
+    if (faults_->edgeFaultsActive() && faults_->edgeDown(from, graph().neighbor(from, p))) {
+      return;
+    }
+    faults_->noteMove(world_.countAt(from), world_.countAt(graph().neighbor(from, p)));
+  }
   world_.applyMove(a, p);
   movedThisActivation_ = true;
   if (moveHook_) moveHook_(a, from, world_.positionOf(a));
@@ -58,8 +70,22 @@ void AsyncEngine::run(std::uint64_t maxActivations) {
   }
   inSetup_ = false;
 
+  if (faults_ != nullptr) {
+    // Seed the excess counter and apply t = 0 faults (byzantine-silent
+    // agents) before the first activation.
+    faults_->initConfig(world_);
+    faults_->advanceTo(activations_, world_, trace_);
+    faults_->noteConfig(activations_);
+  }
   while (!finished_) {
     if (activations_ >= maxActivations) {
+      if (faults_ != nullptr) {
+        // Under faults a protocol may legitimately never terminate (e.g.
+        // crash-stopped agents it waits for); the cap is a verdict, not a
+        // bug — report it and let the session score recovery.
+        limitHit_ = true;
+        break;
+      }
       throw std::runtime_error(
           "AsyncEngine: activation cap exceeded (deadlock or bug); activations=" +
           std::to_string(activations_));
@@ -70,9 +96,11 @@ void AsyncEngine::run(std::uint64_t maxActivations) {
     // Dispatch is hoisted behind the armed() check: an activation of an
     // agent whose fiber already returned (it keeps being scheduled until
     // finish()) skips the resume bookkeeping entirely but still counts
-    // toward the epoch, exactly as before.
+    // toward the epoch, exactly as before.  Crashed agents are likewise
+    // scheduled-but-not-resumed: their activations keep counting toward
+    // epochs, so crash-stop cannot freeze time.
     FiberState& fiber = fibers_[a];
-    if (fiber.slot.armed()) {
+    if (fiber.slot.armed() && !(faults_ != nullptr && faults_->crashed(a))) {
       current_ = a;
       movedThisActivation_ = false;
       fiber.slot.take().resume();
@@ -92,6 +120,13 @@ void AsyncEngine::run(std::uint64_t maxActivations) {
         activeCount_ = 0;
         ++epochStamp_;
       }
+    }
+    if (faults_ != nullptr) {
+      // Activation boundary: the configuration is stable here (agents rest
+      // on nodes between cycles), so score recovery and apply any faults
+      // scheduled at or before this activation.
+      faults_->noteConfig(activations_);
+      faults_->advanceTo(activations_, world_, trace_);
     }
     const auto fill = [this](std::vector<NodeId>& v) {
       for (AgentIx b = 0; b < agentCount(); ++b) v[b] = positionOf(b);

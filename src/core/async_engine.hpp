@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/fiber.hpp"
 #include "core/memory.hpp"
 #include "core/scheduler.hpp"
@@ -98,6 +99,20 @@ class AsyncEngine {
   /// Marks the protocol finished; run() returns after the current activation.
   void finish() noexcept { finished_ = true; }
 
+  // --- fault injection (core/faults.hpp, DESIGN.md §11) ---
+  /// Installs the per-run fault injector (non-owning; must outlive run()).
+  /// Call before run().  With an injector installed:
+  ///  * crashed agents are still scheduled (their activations count toward
+  ///    epochs — crash-stop must not freeze time) but their fibers are not
+  ///    resumed,
+  ///  * move() through a port invalid for the agent's actual position, or
+  ///    through a churned-down edge, becomes a failed attempt (the agent
+  ///    stays put; the attempt still consumes the activation's move budget),
+  ///  * hitting the activation cap reports limitHit() instead of throwing.
+  void installFaults(FaultInjector* faults) { faults_ = faults; }
+  /// True iff a fault-mode run ended at the activation cap (verdict).
+  [[nodiscard]] bool limitHit() const noexcept { return limitHit_; }
+
   // --- orchestration ---
   /// Registers agent `a`'s program.  Every agent must have exactly one.
   void setAgentFiber(AgentIx a, Task task);
@@ -134,6 +149,8 @@ class AsyncEngine {
   bool finished_ = false;
   MoveHook moveHook_;  ///< protocol index maintenance (optional)
   TraceHost trace_;    ///< observability (inert without installObserver)
+  FaultInjector* faults_ = nullptr;  ///< fault mode (inert when null)
+  bool limitHit_ = false;            ///< fault-mode cap verdict
 };
 
 }  // namespace disp

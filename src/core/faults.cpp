@@ -1,0 +1,351 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace disp {
+
+namespace {
+
+[[noreturn]] void parseFail(const std::string& text, const std::string& why) {
+  throw std::invalid_argument("bad fault spec '" + text + "': " + why);
+}
+
+/// Full-token numeric check (sign-free), same rule as GraphSpec: a typo'd
+/// value fails when the spec is read, not deep inside a sweep.
+bool isNumber(const std::string& v) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  return end == v.c_str() + v.size() && std::isfinite(d) && v[0] != '-' &&
+         v[0] != '+';
+}
+
+/// Canonical value form: integers lose leading zeros ("064" -> "64");
+/// non-integers stay as written.
+std::string normalizeValue(const std::string& v) {
+  if (v.find_first_not_of("0123456789") != std::string::npos) return v;
+  return std::to_string(std::strtoull(v.c_str(), nullptr, 10));
+}
+
+std::uint64_t asU64(const std::string& text, const std::string& key,
+                    const std::string& value) {
+  const bool digits = value.find_first_not_of("0123456789") == std::string::npos;
+  if (!digits) {
+    parseFail(text, "parameter '" + key + "' value '" + value +
+                        "' is not an unsigned integer");
+  }
+  return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/// Canonical undirected edge key: smaller endpoint in the high word.
+std::uint64_t edgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (std::uint64_t{u} << 32) | std::uint64_t{v};
+}
+
+/// Fault randomness is an independent stream of the run seed: mixing in a
+/// fixed tag keeps it decoupled from the scheduler / graph / placement
+/// streams (which all seed Rng(seed) directly or fork from it).
+Rng faultRng(std::uint64_t seed) {
+  std::uint64_t sm = seed ^ 0xfa177fa177fa177fULL;
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  if (text.empty()) parseFail(text, "empty spec");
+  FaultSpec spec;
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+
+  struct ParamDef {
+    const char* key;
+    bool required;
+  };
+  std::vector<ParamDef> known;
+  if (head == "none") {
+    spec.kind_ = Kind::None;
+    if (colon != std::string::npos) parseFail(text, "'none' takes no parameters");
+    return spec;
+  } else if (head == "crash") {
+    spec.kind_ = Kind::Crash;
+    known = {{"rate", true}, {"restart", false}, {"window", false}};
+  } else if (head == "churn") {
+    spec.kind_ = Kind::Churn;
+    known = {{"edges", true}, {"every", true}, {"count", false}};
+  } else if (head == "silent") {
+    spec.kind_ = Kind::Silent;
+    known = {{"count", true}};
+  } else {
+    parseFail(text, "unknown fault kind '" + head +
+                        "' (known: none, crash, churn, silent)");
+  }
+
+  if (colon == std::string::npos || colon + 1 == text.size()) {
+    parseFail(text, "'" + head + "' needs parameters");
+  }
+  const std::string args = text.substr(colon + 1);
+  std::string::size_type from = 0;
+  while (from <= args.size()) {
+    const auto comma = args.find(',', from);
+    const auto to = comma == std::string::npos ? args.size() : comma;
+    const std::string tok = args.substr(from, to - from);
+    if (!tok.empty()) {
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) {
+        parseFail(text, "parameter '" + tok + "' is not key=value");
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string value = tok.substr(eq + 1);
+      const bool ok = std::any_of(known.begin(), known.end(),
+                                  [&key](const ParamDef& d) { return key == d.key; });
+      if (!ok) {
+        std::string names;
+        for (const ParamDef& d : known) {
+          if (!names.empty()) names += ", ";
+          names += d.key;
+        }
+        parseFail(text, "fault kind '" + head + "' has no parameter '" + key +
+                            "' (known: " + names + ")");
+      }
+      if (!isNumber(value)) {
+        parseFail(text,
+                  "parameter '" + key + "' value '" + value + "' is not a number");
+      }
+      if (!spec.params_.emplace(key, normalizeValue(value)).second) {
+        parseFail(text, "duplicate parameter '" + key + "'");
+      }
+    }
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  for (const ParamDef& d : known) {
+    if (d.required && spec.params_.count(d.key) == 0) {
+      parseFail(text, "fault kind '" + head + "' requires parameter '" +
+                          std::string(d.key) + "'");
+    }
+  }
+
+  // Typed views + range validation, once at parse time.
+  const auto u64At = [&](const char* key, std::uint64_t fallback) {
+    const auto it = spec.params_.find(key);
+    return it == spec.params_.end() ? fallback : asU64(text, key, it->second);
+  };
+  switch (spec.kind_) {
+    case Kind::Crash: {
+      spec.rate_ = std::strtod(spec.params_.at("rate").c_str(), nullptr);
+      if (!(spec.rate_ > 0.0) || spec.rate_ > 1.0) {
+        parseFail(text, "rate must be in (0, 1]");
+      }
+      spec.restart_ = u64At("restart", 0);
+      if (spec.params_.count("restart") != 0 && spec.restart_ == 0) {
+        parseFail(text, "restart must be >= 1 (omit it for crash-stop)");
+      }
+      spec.window_ = u64At("window", 0);
+      if (spec.params_.count("window") != 0 && spec.window_ == 0) {
+        parseFail(text, "window must be >= 1");
+      }
+      break;
+    }
+    case Kind::Churn: {
+      const std::uint64_t edges = u64At("edges", 0);
+      if (edges < 1 || edges > 0xffffffffULL) {
+        parseFail(text, "edges must be in [1, 2^32)");
+      }
+      spec.edges_ = static_cast<std::uint32_t>(edges);
+      spec.every_ = u64At("every", 0);
+      if (spec.every_ < 1) parseFail(text, "every must be >= 1");
+      const std::uint64_t count = u64At("count", 8);
+      if (count < 1 || count > 4096) parseFail(text, "count must be in [1, 4096]");
+      spec.count_ = static_cast<std::uint32_t>(count);
+      break;
+    }
+    case Kind::Silent: {
+      const std::uint64_t count = u64At("count", 0);
+      if (count < 1 || count > 0xffffffffULL) {
+        parseFail(text, "count must be >= 1");
+      }
+      spec.count_ = static_cast<std::uint32_t>(count);
+      break;
+    }
+    case Kind::None:
+      break;
+  }
+  return spec;
+}
+
+std::string FaultSpec::toString() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::None: return "none";
+    case Kind::Crash: out = "crash"; break;
+    case Kind::Churn: out = "churn"; break;
+    case Kind::Silent: out = "silent"; break;
+  }
+  bool first = true;
+  for (const auto& [key, value] : params_) {
+    out += first ? ':' : ',';
+    first = false;
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, const Graph& g,
+                             std::uint32_t k, std::uint64_t seed, bool async)
+    : crashed_(k, 0) {
+  DISP_REQUIRE(k >= 1, "fault injector needs at least one agent");
+  // ASYNC time parameters scale by k so one spec unit stays one
+  // rounds-equivalent (~ one scheduler pass over the k agents).
+  const std::uint64_t s = async ? k : 1;
+  Rng rng = faultRng(seed);
+
+  switch (spec.kind()) {
+    case FaultSpec::Kind::None:
+      break;
+    case FaultSpec::Kind::Crash: {
+      const std::uint64_t window =
+          (spec.window() != 0 ? spec.window() : 2ULL * k + 16) * s;
+      for (AgentIx a = 0; a < k; ++a) {
+        // One draw pair per agent regardless of outcome, so the schedule of
+        // agent a never depends on the crash verdicts of agents < a.
+        const bool crashes = rng.chance(spec.rate());
+        const std::uint64_t when = 1 + rng.below(window);
+        if (!crashes) continue;
+        schedule_.push_back({FaultEvent::Type::Crash, when, a, 0});
+        if (spec.restart() != 0) {
+          schedule_.push_back(
+              {FaultEvent::Type::Restart, when + spec.restart() * s, a, 0});
+        }
+      }
+      break;
+    }
+    case FaultSpec::Kind::Churn: {
+      downSets_.resize(spec.count());
+      for (std::uint32_t i = 0; i < spec.count(); ++i) {
+        // The final churn event restores every edge (empty down set): the
+        // graph ends equal to its input, so re-dispersal is possible by
+        // construction and "after the last fault" is well-defined.
+        if (i + 1 < spec.count()) {
+          std::vector<std::uint64_t>& set = downSets_[i];
+          // Degree-biased edge sampling via a random (node, port) pick —
+          // no O(m) edge list needed.  Dedup within the set; bounded
+          // attempts so tiny graphs can't spin forever.
+          for (std::uint64_t tries = 0;
+               set.size() < spec.edges() && tries < 64ULL * spec.edges();
+               ++tries) {
+            const auto u = static_cast<NodeId>(rng.below(g.nodeCount()));
+            if (g.degree(u) == 0) continue;
+            const auto p = static_cast<Port>(1 + rng.below(g.degree(u)));
+            const std::uint64_t key = edgeKey(u, g.neighbor(u, p));
+            if (std::find(set.begin(), set.end(), key) == set.end()) {
+              set.push_back(key);
+            }
+          }
+          std::sort(set.begin(), set.end());
+        }
+        schedule_.push_back(
+            {FaultEvent::Type::ChurnSet, (i + 1) * spec.every() * s, kNoAgent, i});
+      }
+      break;
+    }
+    case FaultSpec::Kind::Silent: {
+      DISP_REQUIRE(spec.count() < k,
+                   "silent fault needs count < k (some agent must stay live)");
+      // Uniform distinct victims via a partial Fisher-Yates over [0, k).
+      std::vector<AgentIx> pool(k);
+      for (AgentIx a = 0; a < k; ++a) pool[a] = a;
+      std::vector<AgentIx> victims;
+      for (std::uint32_t i = 0; i < spec.count(); ++i) {
+        const auto j = i + rng.below(k - i);
+        std::swap(pool[i], pool[j]);
+        victims.push_back(pool[i]);
+      }
+      std::sort(victims.begin(), victims.end());
+      for (const AgentIx a : victims) {
+        schedule_.push_back({FaultEvent::Type::Silent, 0, a, 0});
+      }
+      break;
+    }
+  }
+
+  // Time-sorted, ties broken by (type, agent, churnIndex): a deterministic
+  // total order so the applied sequence — and the emitted fault events —
+  // never depend on construction order.
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     if (x.type != y.type) return x.type < y.type;
+                     if (x.agent != y.agent) return x.agent < y.agent;
+                     return x.churnIndex < y.churnIndex;
+                   });
+}
+
+bool FaultInjector::edgeDown(NodeId u, NodeId v) const {
+  return std::binary_search(down_.begin(), down_.end(), edgeKey(u, v));
+}
+
+void FaultInjector::initConfig(const World& world) {
+  // excess = k - |occupied nodes|: O(k) once per run, only under faults.
+  std::vector<NodeId> pos(world.agentCount());
+  for (AgentIx a = 0; a < world.agentCount(); ++a) pos[a] = world.positionOf(a);
+  std::sort(pos.begin(), pos.end());
+  const auto distinct = std::unique(pos.begin(), pos.end()) - pos.begin();
+  excess_ = std::int64_t(world.agentCount()) - std::int64_t(distinct);
+}
+
+void FaultInjector::advanceTo(std::uint64_t now, const World& world,
+                              TraceHost& trace) {
+  while (cursor_ < schedule_.size() && schedule_[cursor_].time <= now) {
+    const FaultEvent& e = schedule_[cursor_++];
+    ++applied_;
+    lastAppliedTime_ = e.time;
+    switch (e.type) {
+      case FaultEvent::Type::Silent:
+        crashed_[e.agent] = 1;
+        trace.emit({TraceEventKind::FaultSilent, now, e.agent,
+                    world.positionOf(e.agent), kNoTraceLabel, kNoTraceLabel});
+        break;
+      case FaultEvent::Type::Crash:
+        crashed_[e.agent] = 1;
+        trace.emit({TraceEventKind::FaultCrash, now, e.agent,
+                    world.positionOf(e.agent), kNoTraceLabel, kNoTraceLabel});
+        break;
+      case FaultEvent::Type::Restart:
+        crashed_[e.agent] = 0;
+        trace.emit({TraceEventKind::FaultRestart, now, e.agent,
+                    world.positionOf(e.agent), kNoTraceLabel, kNoTraceLabel});
+        break;
+      case FaultEvent::Type::ChurnSet: {
+        // Restored edges first (b = 0), then the fresh down set (b = 1);
+        // both in sorted key order — a canonical per-event stream.
+        const std::vector<std::uint64_t>& next = downSets_[e.churnIndex];
+        for (const std::uint64_t key : down_) {
+          if (!std::binary_search(next.begin(), next.end(), key)) {
+            trace.emit({TraceEventKind::FaultEdge, now, kNoAgent,
+                        static_cast<NodeId>(key >> 32),
+                        static_cast<std::uint32_t>(key & 0xffffffffULL), 0});
+          }
+        }
+        for (const std::uint64_t key : next) {
+          if (!std::binary_search(down_.begin(), down_.end(), key)) {
+            trace.emit({TraceEventKind::FaultEdge, now, kNoAgent,
+                        static_cast<NodeId>(key >> 32),
+                        static_cast<std::uint32_t>(key & 0xffffffffULL), 1});
+          }
+        }
+        down_ = next;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace disp

@@ -32,6 +32,26 @@ struct RunResult {
   /// RunOptions::captureTrajectory; always closes on the terminal state).
   std::vector<TrajectoryPoint> trajectory;
 
+  // --- fault-mode verdicts (RunOptions::faults != "none"; DESIGN.md §11) ---
+  /// True iff the run ended at the round/activation cap.  Only a fault-mode
+  /// outcome: without an injector the cap throws instead.
+  bool limitHit = false;
+  /// Self-stabilization verdict: the configuration was dispersed from some
+  /// point to the end of the run, at or after the last injected fault.
+  /// Without faults this mirrors `dispersed`.
+  bool recovered = false;
+  /// Time (rounds/activations) at which the final dispersed stretch began,
+  /// clamped below by the last fault's injection time.  0 unless recovered.
+  std::uint64_t recoveredAt = 0;
+  /// Fault events actually applied during the run (0 without faults).
+  std::uint64_t faultsInjected = 0;
+  /// Non-empty iff the protocol violated one of its own invariants under
+  /// fault injection (belief desynced by vetoed moves / crashed peers) —
+  /// reported instead of thrown, like the cap.  A protocol that crashes
+  /// its own logic did not self-stabilize: `recovered` is forced false.
+  /// Without faults, invariant violations still throw.
+  std::string protocolError;
+
   [[nodiscard]] std::string summary() const;
 };
 

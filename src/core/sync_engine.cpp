@@ -23,6 +23,17 @@ SyncEngine::SyncEngine(const Graph& g, std::vector<NodeId> startPositions,
 void SyncEngine::stageMove(AgentIx a, Port p) {
   DISP_REQUIRE(a < agentCount(), "agent out of range");
   DISP_CHECK(stagedStamp_[a] != round_ + 1, "agent staged two moves in one round");
+  if (faults_ != nullptr) [[unlikely]] {
+    // Fault mode: the double-stage check above still guards protocol bugs,
+    // but a crashed agent's stage is dropped, and a port that is invalid
+    // for the agent's *actual* position (its protocol's belief desynced by
+    // an earlier vetoed move) is a failed traversal attempt, not an error.
+    stagedStamp_[a] = round_ + 1;
+    if (faults_->crashed(a)) return;
+    if (p < 1 || p > graph().degree(world_.positionOf(a))) return;
+    staged_.emplace_back(a, p);
+    return;
+  }
   const NodeId at = world_.positionOf(a);
   DISP_REQUIRE(p >= 1 && p <= graph().degree(at), "staged move through invalid port");
   stagedStamp_[a] = round_ + 1;
@@ -46,7 +57,25 @@ void SyncEngine::addFiber(Task task) {
 }
 
 void SyncEngine::commitRound() {
-  if (trace_.tracing()) {
+  if (faults_ != nullptr) [[unlikely]] {
+    // Fault-aware commit: always serial (fault runs trade the parallel
+    // commit for one deterministic veto point — lane invariance is
+    // unaffected because staging already merged in lane order).  Crash
+    // vetoes happened at staging; here churned-down edges veto the
+    // traversal (the agent stays put, no Move event, no move counted) and
+    // the injector's excess counter tracks every applied move.
+    const bool churn = faults_->edgeFaultsActive();
+    for (const auto& [a, p] : staged_) {
+      const NodeId from = world_.positionOf(a);
+      const NodeId to = graph().neighbor(from, p);
+      if (churn && faults_->edgeDown(from, to)) continue;
+      faults_->noteMove(world_.countAt(from), world_.countAt(to));
+      world_.applyMoveStaged(a, p);
+      if (trace_.tracing()) {
+        trace_.emit({TraceEventKind::Move, round_, a, to, from, p});
+      }
+    }
+  } else if (trace_.tracing()) {
     // Tracing commits stay serial regardless of lanes: the Move event
     // stream interleaves with the commits themselves, and byte-identical
     // traces matter more than speed on observed runs (DESIGN.md §9).
@@ -139,6 +168,13 @@ void SyncEngine::run(std::uint64_t maxRounds) {
   for (const auto& fiber : fibers_) {
     if (!fiber->task.done()) live_.push_back(fiber.get());
   }
+  if (faults_ != nullptr) {
+    // Seed the excess counter and apply t = 0 faults (byzantine-silent
+    // agents) before the first staging pass.
+    faults_->initConfig(world_);
+    faults_->advanceTo(round_, world_, trace_);
+    faults_->noteConfig(round_);
+  }
   for (;;) {
     std::size_t keep = 0;
     for (std::size_t i = 0; i < live_.size(); ++i) {
@@ -164,6 +200,7 @@ void SyncEngine::run(std::uint64_t maxRounds) {
     if (!anyAlive && staged_.empty()) break;
     for (const auto& hook : hooks_) hook();
     commitRound();
+    if (faults_ != nullptr) faults_->noteConfig(round_);
     const auto fill = [this](std::vector<NodeId>& v) {
       for (AgentIx a = 0; a < agentCount(); ++a) v[a] = positionOf(a);
     };
@@ -177,8 +214,21 @@ void SyncEngine::run(std::uint64_t maxRounds) {
       break;
     }
     if (round_ >= limit) {
+      if (faults_ != nullptr) {
+        // Under faults a protocol may legitimately never terminate (e.g.
+        // crash-stopped agents it waits for); the cap is a verdict, not a
+        // bug — report it and let the session score recovery.
+        limitHit_ = true;
+        break;
+      }
       throw std::runtime_error("SyncEngine: round limit exceeded (deadlock or bug); round=" +
                                std::to_string(round_));
+    }
+    if (faults_ != nullptr) {
+      // Round boundary: crashes/restarts/churn scheduled at time <= round_
+      // take effect before the next staging pass, stamped with the same
+      // round as the moves they gate.
+      faults_->advanceTo(round_, world_, trace_);
     }
   }
   // Close the series on the terminal state: the run may end off-cadence,

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/fiber.hpp"
 #include "core/memory.hpp"
 #include "core/round_executor.hpp"
@@ -124,12 +125,29 @@ class SyncEngine {
   /// are never parallelized — they share protocol state by design.
   void stageParallel(const std::function<void(unsigned, LaneStager&)>& fn);
 
+  // --- fault injection (core/faults.hpp, DESIGN.md §11) ---
+  /// Installs the per-run fault injector (non-owning; must outlive run()).
+  /// Call before run().  With an injector installed:
+  ///  * crashed agents' staged moves are dropped at the staging boundary,
+  ///  * staged ports invalid for the agent's *actual* position (protocol
+  ///    belief desynced by an earlier vetoed move) become failed attempts
+  ///    instead of errors,
+  ///  * commits run serially and veto moves through churned-down edges,
+  ///  * hitting the round limit reports limitHit() instead of throwing.
+  void installFaults(FaultInjector* faults) {
+    DISP_CHECK(!running_, "installFaults() during run()");
+    faults_ = faults;
+  }
+  /// True iff a fault-mode run ended at the round limit (verdict, not bug).
+  [[nodiscard]] bool limitHit() const noexcept { return limitHit_; }
+
   // --- orchestration ---
   void addFiber(Task task);
   void addRoundHook(std::function<void()> hook) { hooks_.push_back(std::move(hook)); }
 
   /// Runs rounds until every fiber completes.  Throws if a fiber threw, or
-  /// if `maxRounds` elapse first (deadlock guard).
+  /// if `maxRounds` elapse first (deadlock guard) — unless a fault injector
+  /// is installed, in which case the limit becomes a reported verdict.
   void run(std::uint64_t maxRounds);
 
   [[nodiscard]] std::vector<NodeId> positionsSnapshot() const;
@@ -158,6 +176,8 @@ class SyncEngine {
   ResumeSlot* currentSlot_ = nullptr;
   bool running_ = false;  ///< guards addFiber() against mid-run additions
   TraceHost trace_;       ///< observability (inert without installObserver)
+  FaultInjector* faults_ = nullptr;  ///< fault mode (inert when null)
+  bool limitHit_ = false;            ///< fault-mode limit verdict
   /// Worker pool for stageParallel / parallel commit; null when serial.
   std::unique_ptr<RoundExecutor> executor_;
   std::vector<LaneStager> laneStagers_;

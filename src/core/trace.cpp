@@ -11,6 +11,10 @@ const char* traceEventKindName(TraceEventKind k) {
     case TraceEventKind::Collapse: return "collapse";
     case TraceEventKind::Freeze: return "freeze";
     case TraceEventKind::OscillationDuty: return "oscillation_duty";
+    case TraceEventKind::FaultCrash: return "fault_crash";
+    case TraceEventKind::FaultRestart: return "fault_restart";
+    case TraceEventKind::FaultEdge: return "fault_edge";
+    case TraceEventKind::FaultSilent: return "fault_silent";
   }
   return "?";
 }

@@ -53,6 +53,17 @@ enum class TraceEventKind : std::uint8_t {
   /// Oscillation coverage duty changed (§5.2 settlers).  agent = the
   /// oscillator, node = its home, a = 1 gained / 0 dropped, b = stop count.
   OscillationDuty,
+  /// Fault injection (core/faults.hpp, DESIGN.md §11).  An agent
+  /// crash-stopped: node = where it sits, a = b = kNoTraceLabel.
+  FaultCrash,
+  /// A crashed agent restarted in place.  node = where it sits.
+  FaultRestart,
+  /// Edge churn state change.  agent = kNoAgent, node = smaller endpoint,
+  /// a = larger endpoint, b = 1 edge went down / 0 edge came back up.
+  FaultEdge,
+  /// An agent was marked byzantine-silent at t = 0 (present but inert).
+  /// node = its start node, a = b = kNoTraceLabel.
+  FaultSilent,
 };
 
 /// Label value for events outside any multi-tree context.

@@ -143,6 +143,7 @@ SweepResult BatchRunner::run(const SweepSpec& spec) const {
     c.labeling = spec.labeling;
     c.limit = spec.limit;
     c.runThreads = options_.runThreads;
+    c.faults = key.faults;
     if (options_.observe) {
       c.observe = [this, &key, seed = c.seed](RunOptions& opts) {
         options_.observe(key, seed, opts);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "algo/placement.hpp"
+#include "core/faults.hpp"
 #include "exp/benches.hpp"
 #include "graph/spec.hpp"
 
@@ -52,6 +53,8 @@ const std::vector<BenchDef>& benchRegistry() {
        &benchTraceSmoke},
       {"scenario", "E17: ad-hoc workloads from --graphs/--placements/--ks specs",
        &benchScenario},
+      {"faults", "E20: fault loads vs protocols — self-stabilization scorecard",
+       &benchFaults},
   };
   return kRegistry;
 }
@@ -86,7 +89,7 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
     jsonl = std::make_unique<JsonlWriter>(*jsonlFile);
   }
 
-  BenchContext ctx{std::cout, jsonl.get(), {}, {}, {}, {}, {}};
+  BenchContext ctx{std::cout, jsonl.get(), {}, {}, {}, {}, {}, {}};
   const std::int64_t threads = cli.integer("threads", 0);
   if (threads < 0 || threads > 4096) {
     std::cerr << "error: --threads must be in [0, 4096] (0 = hardware concurrency)\n";
@@ -118,11 +121,13 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
   // Validate up front so a typo'd spec fails before any sweep runs.
   ctx.graphOverride = cli.specList("graphs");
   ctx.placementOverride = cli.specList("placements");
+  ctx.faultsOverride = cli.specList("faults");
   try {
     for (const std::string& g : ctx.graphOverride) (void)GraphSpec::parse(g);
     for (const std::string& p : ctx.placementOverride) {
       (void)PlacementSpec::parse(p);
     }
+    for (const std::string& f : ctx.faultsOverride) (void)FaultSpec::parse(f);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -48,4 +48,8 @@ void benchTraceSmoke(BenchContext& ctx);          // E16
 // (benches_misc.cpp).
 void benchScenario(BenchContext& ctx);            // E17
 
+// Fault loads vs protocols: the self-stabilization scorecard over the
+// --faults axis (benches_faults.cpp).
+void benchFaults(BenchContext& ctx);              // E20
+
 }  // namespace disp::exp

@@ -1,0 +1,114 @@
+// E20 — the fault campaign: fault loads vs protocols (DESIGN.md §11).
+//
+// Crosses the six registry algorithms with a default panel of FaultSpec
+// loads (overridable via --faults) and scores *self-stabilization*: a cell
+// recovers iff every replicate ends in a dispersed configuration that was
+// reached at or after its last injected fault and held to the end of the
+// run.  Under faults the round/activation cap is a verdict (`cap`), not an
+// error, so non-terminating protocols still report whether the
+// configuration itself stabilized.
+#include <algorithm>
+
+#include "algo/registry.hpp"
+#include "core/faults.hpp"
+#include "exp/benches.hpp"
+
+namespace disp::exp {
+
+namespace {
+
+/// Scorecard columns aggregated over a cell's replicates.
+struct FaultScore {
+  bool allDispersed = true;
+  bool anyCap = false;
+  bool anyError = false;
+  bool allRecovered = true;
+  std::uint64_t maxRecoveredAt = 0;
+  std::uint64_t maxInjected = 0;
+};
+
+FaultScore score(const Cell& c) {
+  FaultScore s;
+  for (const RunRecord& r : c.replicates) {
+    if (!r.error.empty() || !r.run.protocolError.empty()) s.anyError = true;
+    s.allDispersed = s.allDispersed && r.run.dispersed;
+    s.anyCap = s.anyCap || r.run.limitHit;
+    s.allRecovered = s.allRecovered && r.error.empty() && r.run.recovered;
+    s.maxRecoveredAt = std::max(s.maxRecoveredAt, r.run.recoveredAt);
+    s.maxInjected = std::max(s.maxInjected, r.run.faultsInjected);
+  }
+  return s;
+}
+
+}  // namespace
+
+// E20 — self-stabilization scorecard.  SYNC protocols run under a tight
+// explicit round cap (the verdict point for non-terminating cells); ASYNC
+// protocols get a proportionally larger activation cap, since their fault
+// times scale by k (one round-equivalent = k activations).
+void benchFaults(BenchContext& ctx) {
+  const std::string name = "faults";
+  ctx.out << "# E20: fault campaign — fault loads vs protocols (--faults)\n";
+  const std::vector<std::string> loads = ctx.faultsOr({
+      "none",
+      "crash:rate=0.25,restart=64",
+      "crash:rate=0.25",
+      "churn:edges=4,every=32",
+      "silent:count=2",
+  });
+
+  const bool ci = ctx.seedOverride.size() > 1;
+  std::vector<std::string> hdr{"algo", "k", "faults"};
+  timeHeader(hdr, "time", ci);
+  hdr.insert(hdr.end(), {"dispersed", "cap", "faults_n", "recovered",
+                         "recovered_at"});
+  Table t(hdr);
+
+  const auto addRows = [&](const SweepSpec& spec, const SweepResult& res) {
+    for (const std::uint32_t k : spec.scaledKs()) {
+      for (const std::string& algo : spec.algorithms) {
+        for (const std::string& load : spec.faults) {
+          const Cell& c = res.at(
+              {spec.graphs.front(), k, "rooted", "round_robin", algo, load});
+          if (!c.ran()) continue;  // outside this --shard
+          const FaultScore s = score(c);
+          t.row()
+              .cell(algorithmDisplayName(algo))
+              .cell(std::uint64_t{k})
+              .cell(FaultSpec::parse(load).toString());
+          timeCellCi(t, c, ci);
+          t.cell(std::string(s.allDispersed ? "yes" : "NO"))
+              .cell(std::string(s.anyError ? "err"
+                                           : (s.anyCap ? "cap" : "-")))
+              .cell(s.maxInjected)
+              .cell(std::string(s.allRecovered ? "yes" : "NO"))
+              .cell(s.maxRecoveredAt);
+        }
+      }
+    }
+  };
+
+  SweepSpec sync;
+  sync.name = name;
+  sync.graphs = ctx.graphsOr({"er"});
+  sync.ks = ctx.ksOr({24});
+  sync.algorithms = {"rooted_sync", "general_sync", "ks_sync"};
+  sync.faults = loads;
+  sync.seeds = ctx.seedsOr(17);
+  sync.limit = 4000;
+  addRows(sync, ctx.runner().run(sync));
+
+  SweepSpec async;
+  async.name = name;
+  async.graphs = sync.graphs;
+  async.ks = sync.ks;
+  async.algorithms = {"rooted_async", "general_async", "ks_async"};
+  async.faults = loads;
+  async.seeds = sync.seeds;
+  async.limit = 200000;
+  addRows(async, ctx.runner().run(async));
+
+  emitTable(ctx, name, "self-stabilization scorecard", t);
+}
+
+}  // namespace disp::exp

@@ -48,6 +48,8 @@ struct BenchContext {
   std::vector<std::string> placementOverride;
   /// When non-empty, replaces a sweep's k axis.
   std::vector<std::uint32_t> kOverride;
+  /// When non-empty, replaces a sweep's fault axis (FaultSpec strings).
+  std::vector<std::string> faultsOverride;
 
   [[nodiscard]] std::vector<std::uint64_t> seedsOr(std::uint64_t fallback) const {
     return seedOverride.empty() ? std::vector<std::uint64_t>{fallback} : seedOverride;
@@ -63,6 +65,10 @@ struct BenchContext {
   [[nodiscard]] std::vector<std::uint32_t> ksOr(
       std::vector<std::uint32_t> fallback) const {
     return kOverride.empty() ? std::move(fallback) : kOverride;
+  }
+  [[nodiscard]] std::vector<std::string> faultsOr(
+      std::vector<std::string> fallback) const {
+    return faultsOverride.empty() ? std::move(fallback) : faultsOverride;
   }
   [[nodiscard]] BatchRunner runner() const { return BatchRunner(batch); }
 };
@@ -97,7 +103,8 @@ void timeCellCi(Table& t, const Cell& c, bool ci);
 /// never within one).  Schema (all values JSON strings, validated by
 /// scripts/check_trace.sh):
 ///   {"cell", "seed", "event": move|settle|meeting|subsume|collapse|freeze|
-///    oscillation_duty, "t", "agent", "node", "a", "b"}
+///    oscillation_duty|fault_crash|fault_restart|fault_edge|fault_silent,
+///    "t", "agent", "node", "a", "b"}
 ///   {"cell", "seed", "event": "sample", "t", "epochs", "settled", "moves"}
 /// "-" stands for no-agent / no-node / no-label fields.
 class TraceJsonl {

@@ -6,6 +6,7 @@
 
 #include "algo/placement.hpp"
 #include "algo/registry.hpp"
+#include "core/faults.hpp"
 #include "util/check.hpp"
 
 namespace disp::exp {
@@ -38,6 +39,7 @@ RunRecord runCell(const Graph& g, const CaseSpec& c) {
   opts.seed = c.seed;
   opts.limit = c.limit;
   opts.runThreads = c.runThreads;
+  opts.faults = c.faults;
   if (c.observe) c.observe(opts);
   RunRecord out;
   out.run = runSession(g, p, opts);
@@ -66,6 +68,7 @@ std::string CellKey::describe() const {
   const AlgorithmDef* def = findAlgorithm(algorithm);
   os << graph << " k=" << k << " place=" << placement << " sched=" << scheduler
      << " algo=" << (def != nullptr ? def->traits.display : algorithm);
+  if (faults != "none") os << " faults=" << faults;
   return os.str();
 }
 
@@ -88,6 +91,7 @@ const Cell& SweepResult::at(const CellKey& key) const {
   CellKey canon = key;
   canon.graph = GraphSpec::parse(key.graph).toString();
   canon.placement = PlacementSpec::parse(key.placement).toString();
+  canon.faults = FaultSpec::parse(key.faults).toString();
   for (const Cell& c : cells) {
     if (c.key == canon) return c;
   }
@@ -97,7 +101,7 @@ const Cell& SweepResult::at(const CellKey& key) const {
 std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
   DISP_REQUIRE(!spec.graphs.empty() && !spec.ks.empty() && !spec.algorithms.empty() &&
                    !spec.placements.empty() && !spec.schedulers.empty() &&
-                   !spec.seeds.empty(),
+                   !spec.faults.empty() && !spec.seeds.empty(),
                "sweep '" + spec.name + "' has an empty axis");
   // A typo'd algorithm key or spec string would otherwise degrade every one
   // of its cells into errored replicates; validating the axes up front
@@ -114,6 +118,11 @@ std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
   for (const std::string& p : spec.placements) {
     placements.push_back(PlacementSpec::parse(p).toString());
   }
+  std::vector<std::string> faults;
+  faults.reserve(spec.faults.size());
+  for (const std::string& f : spec.faults) {
+    faults.push_back(FaultSpec::parse(f).toString());
+  }
   const std::vector<std::uint32_t> ks = spec.scaledKs();
   std::vector<CellKey> keys;
   keys.reserve(spec.cellCount());
@@ -122,7 +131,9 @@ std::vector<CellKey> enumerateCells(const SweepSpec& spec) {
       for (const std::string& placement : placements) {
         for (const std::string& scheduler : spec.schedulers) {
           for (const std::string& algorithm : spec.algorithms) {
-            keys.push_back({graph, k, placement, scheduler, algorithm});
+            for (const std::string& fault : faults) {
+              keys.push_back({graph, k, placement, scheduler, algorithm, fault});
+            }
           }
         }
       }

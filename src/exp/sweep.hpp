@@ -69,6 +69,8 @@ struct CaseSpec {
   /// Intra-run worker lanes (RunOptions::runThreads): 1 = serial, 0 =
   /// hardware.  SYNC only; facts are lane-count invariant.
   unsigned runThreads = 1;
+  /// Fault load (FaultSpec string, core/faults.hpp; "none" = fault-free).
+  std::string faults = "none";
   /// Observer plumbing: when set, invoked on the run's RunOptions right
   /// before runSession, to attach onEvent/onRound/... hooks (BatchRunner
   /// binds its BatchOptions::observe hook here per replicate).
@@ -104,6 +106,9 @@ struct SweepSpec {
   std::vector<std::string> algorithms;  ///< registry keys
   std::vector<std::string> placements{"rooted"};  ///< PlacementSpec strings
   std::vector<std::string> schedulers{"round_robin"};
+  /// Fault-load axis (FaultSpec strings, core/faults.hpp).  Defaults to the
+  /// single fault-free load, so existing sweeps are unchanged.
+  std::vector<std::string> faults{"none"};
   std::vector<std::uint64_t> seeds{17};
   double nOverK = 2.0;
   PortLabeling labeling = PortLabeling::RandomPermutation;
@@ -120,7 +125,7 @@ struct SweepSpec {
 
   [[nodiscard]] std::size_t cellCount() const {
     return graphs.size() * scaledKs().size() * algorithms.size() *
-           placements.size() * schedulers.size();
+           placements.size() * schedulers.size() * faults.size();
   }
 };
 
@@ -133,6 +138,8 @@ struct CellKey {
   std::string placement = "rooted";
   std::string scheduler = "round_robin";
   std::string algorithm = "rooted_sync";  ///< registry key
+  /// FaultSpec string; last so historical five-field brace inits stay valid.
+  std::string faults = "none";
 
   [[nodiscard]] bool operator==(const CellKey&) const = default;
   [[nodiscard]] std::string describe() const;
@@ -165,8 +172,8 @@ struct Cell {
 };
 
 /// Result of executing a SweepSpec: cells in deterministic enumeration
-/// order (graph ▸ k ▸ placement ▸ scheduler ▸ algorithm, each axis in spec
-/// order) — independent of thread count.
+/// order (graph ▸ k ▸ placement ▸ scheduler ▸ algorithm ▸ faults, each axis
+/// in spec order) — independent of thread count.
 struct SweepResult {
   SweepSpec spec;
   std::vector<Cell> cells;

@@ -74,6 +74,70 @@ TEST(Sweep, RejectsEmptyAxes) {
   EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
 }
 
+// The faults axis: innermost in the enumeration, canonicalized, validated
+// up front, defaulted to {"none"} so historical sweeps are unchanged.
+TEST(Sweep, FaultsAxisEnumeratesInnermostAndCanonicalizes) {
+  SweepSpec spec = smallSpec();
+  spec.faults = {"none", "crash:restart=064,rate=0.25"};
+  const auto keys = enumerateCells(spec);
+  ASSERT_EQ(keys.size(), spec.cellCount());
+  ASSERT_EQ(keys.size(), 2u * 2u * 3u * 2u * 2u * 2u);
+  EXPECT_EQ(keys[0].faults, "none");
+  EXPECT_EQ(keys[1].faults, "crash:rate=0.25,restart=64");  // canonical
+  EXPECT_EQ(keys[0].algorithm, keys[1].algorithm);  // innermost axis
+  // describe() elides the fault-free load (historical labels unchanged)
+  // and names any other.
+  EXPECT_EQ(keys[0].describe().find("faults="), std::string::npos);
+  EXPECT_NE(keys[1].describe().find("faults=crash:rate=0.25,restart=64"),
+            std::string::npos);
+
+  spec.faults = {"crash:nope=1"};
+  EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
+  spec.faults.clear();
+  EXPECT_THROW((void)enumerateCells(spec), std::invalid_argument);
+}
+
+// A sweep whose faults axis is the default singleton {"none"} must produce
+// byte-identical cells to one that never mentions the axis — the
+// zero-overhead guard at the sweep layer.
+TEST(Sweep, DefaultFaultsAxisLeavesCellsByteIdentical) {
+  SweepSpec spec = smallSpec();
+  spec.graphs = {"er"};
+  spec.ks = {16};
+  spec.seeds = {1, 2};
+  const SweepResult plain = runnerWith(1).run(spec);
+
+  SweepSpec explicitNone = spec;
+  explicitNone.faults = {"none"};
+  const SweepResult none = runnerWith(1).run(explicitNone);
+
+  ASSERT_EQ(plain.cells.size(), none.cells.size());
+  for (std::size_t i = 0; i < plain.cells.size(); ++i) {
+    EXPECT_EQ(plain.cells[i].key, none.cells[i].key);
+    ASSERT_EQ(plain.cells[i].replicates.size(), none.cells[i].replicates.size());
+    for (std::size_t r = 0; r < plain.cells[i].replicates.size(); ++r) {
+      expectSameRun(plain.cells[i].replicates[r].run,
+                    none.cells[i].replicates[r].run,
+                    plain.cells[i].key.describe());
+    }
+  }
+
+  // Faulted cells resolve through at() with any equivalent spelling.
+  SweepSpec faulted = spec;
+  faulted.ks = {12};
+  faulted.algorithms = {"ks_async"};
+  faulted.placements = {"rooted"};
+  faulted.schedulers = {"round_robin"};
+  faulted.seeds = {1};
+  faulted.limit = 100000;
+  faulted.faults = {"silent:count=2"};
+  const SweepResult res = runnerWith(1).run(faulted);
+  const Cell& cell =
+      res.at({"er", 12, "rooted", "round_robin", "ks_async", "silent:count=02"});
+  ASSERT_TRUE(cell.ran());
+  EXPECT_EQ(cell.replicates.front().run.faultsInjected, 2u);
+}
+
 TEST(BatchRunner, RejectsUnknownSchedulerNameUpFront) {
   // A typo'd scheduler must fail the sweep loudly, not degrade every async
   // cell into errored replicates.
@@ -252,6 +316,56 @@ TEST(RunThreadsParallel, FactsAndTracesAreLaneCountInvariantOnEveryAlgorithm) {
       const bool same = a.kind == b.kind && a.time == b.time && a.agent == b.agent &&
                         a.node == b.node && a.a == b.a && a.b == b.b;
       ASSERT_TRUE(same) << c.algo << " trace event " << i << " drifted";
+    }
+  }
+}
+
+// Lane invariance under fault injection: the fault schedule is drawn up
+// front from the run seed and the fault-aware staging/commit paths are
+// serial, so a crash-restart run reports byte-identical facts, verdicts
+// AND typed event streams (fault events included) at every lane count —
+// on every registered protocol.  SYNC protocols whose belief desyncs
+// report the same protocolError either way.
+TEST(RunThreadsParallel, FaultRunsAreLaneCountInvariantOnEveryAlgorithm) {
+  struct Case {
+    const char* algo;
+    std::uint32_t k;
+    std::uint64_t limit;
+  };
+  const Case cases[] = {
+      {"rooted_sync", 400, 4000},   {"general_sync", 300, 4000},
+      {"ks_sync", 300, 4000},       {"rooted_async", 24, 200000},
+      {"general_async", 24, 200000}, {"ks_async", 24, 200000},
+  };
+  const auto runWithLanes = [](const Case& c, unsigned lanes,
+                               std::vector<TraceEvent>& events) {
+    RunOptions opts;
+    opts.algorithm = c.algo;
+    opts.seed = 17;
+    opts.limit = c.limit;
+    opts.runThreads = lanes;
+    opts.faults = "crash:rate=0.25,restart=64";
+    opts.onEvent = [&events](const TraceEvent& e) { events.push_back(e); };
+    return runScenario("er", "rooted", c.k, opts);
+  };
+  for (const Case& c : cases) {
+    std::vector<TraceEvent> serialEvents, parallelEvents;
+    const RunResult serial = runWithLanes(c, 1, serialEvents);
+    const RunResult parallel = runWithLanes(c, 8, parallelEvents);
+    expectSameRun(serial, parallel, c.algo);
+    EXPECT_EQ(serial.limitHit, parallel.limitHit) << c.algo;
+    EXPECT_EQ(serial.recovered, parallel.recovered) << c.algo;
+    EXPECT_EQ(serial.recoveredAt, parallel.recoveredAt) << c.algo;
+    EXPECT_EQ(serial.faultsInjected, parallel.faultsInjected) << c.algo;
+    EXPECT_EQ(serial.protocolError, parallel.protocolError) << c.algo;
+    EXPECT_GT(serial.faultsInjected, 0u) << c.algo;
+    ASSERT_EQ(serialEvents.size(), parallelEvents.size()) << c.algo;
+    for (std::size_t i = 0; i < serialEvents.size(); ++i) {
+      const TraceEvent& a = serialEvents[i];
+      const TraceEvent& b = parallelEvents[i];
+      const bool same = a.kind == b.kind && a.time == b.time && a.agent == b.agent &&
+                        a.node == b.node && a.a == b.a && a.b == b.b;
+      ASSERT_TRUE(same) << c.algo << " fault-run trace event " << i << " drifted";
     }
   }
 }

@@ -463,6 +463,71 @@ TEST(GraphSpec, ParseRejectsMalformedSpecs) {
   expectParseError([] { (void)GraphSpec::parse(""); }, "empty spec");
 }
 
+namespace {
+/// True iff {u, v} is an edge (port scan; fine for test-sized graphs).
+bool adjacent(const Graph& g, NodeId u, NodeId v) {
+  for (Port p = 1; p <= g.degree(u); ++p) {
+    if (g.neighbor(u, p) == v) return true;
+  }
+  return false;
+}
+}  // namespace
+
+TEST(GraphSpec, LollipopRoundTripsAndHasCliquePlusPath) {
+  const std::string canon = GraphSpec::parse("lollipop:n=032,clique=8").toString();
+  EXPECT_EQ(canon, "lollipop:clique=8,n=32");
+  EXPECT_EQ(GraphSpec::parse(canon).toString(), canon);
+
+  const std::uint32_t n = 32, c = 8;
+  const Graph g = makeGraph("lollipop:clique=8,n=32", 0, 1);
+  EXPECT_EQ(g.nodeCount(), n);
+  // m = C(c,2) clique edges + (n - c) path edges.
+  EXPECT_EQ(g.edgeCount(), std::uint64_t{c} * (c - 1) / 2 + (n - c));
+  EXPECT_TRUE(isConnected(g));
+  // Clique nodes are pairwise adjacent; the glue node c-1 also starts the
+  // path, so its degree is c, the rest c-1.
+  for (NodeId u = 0; u < c; ++u) {
+    for (NodeId v = u + 1; v < c; ++v) EXPECT_TRUE(adjacent(g, u, v)) << u << "," << v;
+    EXPECT_EQ(g.degree(u), u == c - 1 ? c : c - 1) << u;
+  }
+  // Path chain c-1 — c — ... — n-1; interior degree 2, tail degree 1.
+  for (NodeId i = c; i < n; ++i) {
+    EXPECT_TRUE(adjacent(g, i - 1, i)) << i;
+    EXPECT_EQ(g.degree(i), i == n - 1 ? 1u : 2u) << i;
+  }
+}
+
+TEST(GraphSpec, BarbellRoundTripsAndHasTwoCliquesJoinedByAPath) {
+  const std::string canon = GraphSpec::parse("barbell:path=04,clique=6").toString();
+  EXPECT_EQ(canon, "barbell:clique=6,path=4");
+  EXPECT_EQ(GraphSpec::parse(canon).toString(), canon);
+
+  const std::uint32_t c = 6, len = 4;
+  const Graph g = makeGraph(canon, 0, 1);
+  const std::uint32_t c2 = c + len;  // start of the second clique
+  EXPECT_EQ(g.nodeCount(), 2 * c + len);
+  // m = 2 C(c,2) + the path's len+1 connecting edges.
+  EXPECT_EQ(g.edgeCount(), 2ULL * c * (c - 1) / 2 + len + 1);
+  EXPECT_TRUE(isConnected(g));
+  for (NodeId u = 0; u < c; ++u) {
+    for (NodeId v = u + 1; v < c; ++v) {
+      EXPECT_TRUE(adjacent(g, u, v)) << "clique1 " << u << "," << v;
+      EXPECT_TRUE(adjacent(g, c2 + u, c2 + v)) << "clique2 " << u << "," << v;
+    }
+  }
+  // Bridge chain: c-1 — c — ... — c+len-1 — c2; every interior bridge node
+  // has degree 2 and removing any bridge edge disconnects the cliques.
+  EXPECT_TRUE(adjacent(g, c - 1, c));
+  for (NodeId i = c; i + 1 < c2; ++i) {
+    EXPECT_TRUE(adjacent(g, i, i + 1)) << i;
+    EXPECT_EQ(g.degree(i), 2u) << i;
+  }
+  EXPECT_TRUE(adjacent(g, c2 - 1, c2));
+  // Clique anchors carry the one extra bridge port.
+  EXPECT_EQ(g.degree(c - 1), c);
+  EXPECT_EQ(g.degree(c2), c);
+}
+
 TEST(GraphSpec, CanonicalFormSortsAndNormalizes) {
   EXPECT_EQ(GraphSpec::parse("grid:rows=08,cols=4").toString(),
             "grid:cols=4,rows=8");
