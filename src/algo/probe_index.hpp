@@ -19,7 +19,7 @@
 // simulation facts.
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_map>  // displint: allow(DL001) — GroupPositionIndex keyed lookups only
 #include <vector>
 
 #include "core/world.hpp"
@@ -134,7 +134,8 @@ class GroupPositionIndex {
   }
 
   std::vector<std::uint32_t> unsettled_;
-  // Keyed lookups only — never iterated, so hash order cannot reach facts.
+  // displint: allow(DL001) — keyed lookups only (find/erase/operator[]);
+  // never iterated, so hash order cannot reach facts.
   std::vector<std::unordered_map<NodeId, std::uint32_t>> at_;
 };
 

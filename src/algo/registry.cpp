@@ -43,6 +43,9 @@ std::unique_ptr<ProtocolHandle> makeRootedSync(SyncEngine& engine) {
 }
 
 std::deque<AlgorithmDef>& mutableRegistry() {
+  // displint: allow(DL005) — append-only Meyers-singleton registration
+  // store: mutated only by registerAlgorithm() before runs start, read via
+  // keyed lookups in fixed registration order, so facts cannot depend on it.
   static std::deque<AlgorithmDef> registry{
       {{"rooted_sync", "RootedSyncDisp", "Theorem 6.1", false, true},
        &makeRootedSync, nullptr},

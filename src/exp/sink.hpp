@@ -41,15 +41,15 @@ struct BenchContext {
   JsonlWriter* jsonl = nullptr;
   BatchOptions batch;
   /// When non-empty, replaces each bench's historical single seed.
-  std::vector<std::uint64_t> seedOverride;
+  std::vector<std::uint64_t> seedOverride{};
   /// When non-empty, replaces a sweep's graph axis (GraphSpec strings).
-  std::vector<std::string> graphOverride;
+  std::vector<std::string> graphOverride{};
   /// When non-empty, replaces a sweep's placement axis (PlacementSpec strings).
-  std::vector<std::string> placementOverride;
+  std::vector<std::string> placementOverride{};
   /// When non-empty, replaces a sweep's k axis.
-  std::vector<std::uint32_t> kOverride;
+  std::vector<std::uint32_t> kOverride{};
   /// When non-empty, replaces a sweep's fault axis (FaultSpec strings).
-  std::vector<std::string> faultsOverride;
+  std::vector<std::string> faultsOverride{};
 
   [[nodiscard]] std::vector<std::uint64_t> seedsOr(std::uint64_t fallback) const {
     return seedOverride.empty() ? std::vector<std::uint64_t>{fallback} : seedOverride;

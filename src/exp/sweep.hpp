@@ -74,7 +74,7 @@ struct CaseSpec {
   /// Observer plumbing: when set, invoked on the run's RunOptions right
   /// before runSession, to attach onEvent/onRound/... hooks (BatchRunner
   /// binds its BatchOptions::observe hook here per replicate).
-  std::function<void(RunOptions&)> observe;
+  std::function<void(RunOptions&)> observe{};
 };
 
 /// Outcome of one simulated case plus the graph's vital statistics.

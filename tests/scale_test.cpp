@@ -272,7 +272,9 @@ TEST(MemProbe, PeakCoversCurrentAndGrowsUnderAllocation) {
     // Touch ~64 MiB so the watermark must move well past `before`.
     std::vector<std::uint8_t> ballast(64u << 20, 1);
     volatile std::uint8_t sink = 0;
-    for (std::size_t i = 0; i < ballast.size(); i += 4096) sink ^= ballast[i];
+    for (std::size_t i = 0; i < ballast.size(); i += 4096) {
+      sink = static_cast<std::uint8_t>(sink ^ ballast[i]);
+    }
     (void)sink;
     EXPECT_GE(peakRssMb(), before + 32.0);
   }

@@ -219,6 +219,12 @@ TEST(TraceSchema, PinnedGeneralSyncRunEmitsOrderedWellFormedEvents) {
       case TraceEventKind::Freeze:
       case TraceEventKind::OscillationDuty:
         break;
+      case TraceEventKind::FaultCrash:
+      case TraceEventKind::FaultRestart:
+      case TraceEventKind::FaultEdge:
+      case TraceEventKind::FaultSilent:
+        ADD_FAILURE() << "fault event in a fault-free run";
+        break;
     }
     EXPECT_GE(settled, 0) << "a collapse never precedes its settle";
   }

@@ -1,0 +1,359 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace displint {
+
+namespace {
+
+[[nodiscard]] bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch is a simple
+// first-match scan.
+constexpr std::array<const char*, 22> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "^=",
+};
+
+struct Lexer {
+  const std::string& src;
+  std::size_t i = 0;
+  int line = 1;
+  int lastCodeLine = 0;  // line of the most recent non-comment token
+  LexedFile out;
+
+  explicit Lexer(const std::string& s) : src(s) {}
+
+  [[nodiscard]] char at(std::size_t k) const { return k < src.size() ? src[k] : '\0'; }
+  [[nodiscard]] char cur() const { return at(i); }
+  [[nodiscard]] char next() const { return at(i + 1); }
+
+  void push(TokKind kind, std::string text, int tokLine) {
+    lastCodeLine = tokLine;
+    out.tokens.push_back({kind, std::move(text), tokLine});
+  }
+
+  // --- literal scanners --------------------------------------------------
+
+  void scanString() {
+    const int start = line;
+    std::string text;
+    ++i;  // opening quote
+    while (i < src.size() && src[i] != '"') {
+      if (src[i] == '\\' && i + 1 < src.size()) {
+        if (src[i + 1] == '\n') ++line;
+        text += src[i];
+        text += src[i + 1];
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\n') ++line;  // compiler would reject; keep line counts sane
+      text += src[i++];
+    }
+    if (i < src.size()) ++i;  // closing quote
+    push(TokKind::String, std::move(text), start);
+  }
+
+  void scanRawString() {
+    const int start = line;
+    // at 'R', next is '"': R"delim( ... )delim"
+    i += 2;
+    std::string delim;
+    while (i < src.size() && src[i] != '(') delim += src[i++];
+    if (i < src.size()) ++i;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (i < src.size() && src.compare(i, closer.size(), closer) != 0) {
+      if (src[i] == '\n') ++line;
+      text += src[i++];
+    }
+    if (i < src.size()) i += closer.size();
+    push(TokKind::String, std::move(text), start);
+  }
+
+  void scanCharLit() {
+    const int start = line;
+    std::string text;
+    ++i;  // opening quote
+    while (i < src.size() && src[i] != '\'') {
+      if (src[i] == '\\' && i + 1 < src.size()) {
+        text += src[i];
+        text += src[i + 1];
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\n') ++line;
+      text += src[i++];
+    }
+    if (i < src.size()) ++i;  // closing quote
+    push(TokKind::CharLit, std::move(text), start);
+  }
+
+  void scanNumber() {
+    const int start = line;
+    std::string text;
+    while (i < src.size() &&
+           (isIdentChar(src[i]) || src[i] == '\'' || src[i] == '.' ||
+            ((src[i] == '+' || src[i] == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+              text.back() == 'P')))) {
+      if (src[i] == '\'' && !isIdentChar(at(i + 1))) break;  // char literal follows
+      text += src[i++];
+    }
+    push(TokKind::Number, std::move(text), start);
+  }
+
+  // --- comments & suppressions -------------------------------------------
+
+  // Parses `displint: allow(DL001[, DL005]) — justification` out of a
+  // comment body.  Non-displint comments are ignored.
+  void handleComment(const std::string& body, int commentLine, bool standalone) {
+    const std::size_t tag = body.find("displint:");
+    if (tag == std::string::npos) return;
+    std::size_t p = tag + 9;
+    auto skipWs = [&] {
+      while (p < body.size() && std::isspace(static_cast<unsigned char>(body[p])) != 0) ++p;
+    };
+    skipWs();
+    if (body.compare(p, 5, "allow") != 0) {
+      out.suppressionErrors.push_back(
+          {commentLine, "displint comment without allow(RULE)"});
+      return;
+    }
+    p += 5;
+    skipWs();
+    if (p >= body.size() || body[p] != '(') {
+      out.suppressionErrors.push_back({commentLine, "expected '(' after allow"});
+      return;
+    }
+    ++p;
+    std::vector<std::string> rules;
+    std::string rule;
+    bool closed = false;
+    for (; p < body.size(); ++p) {
+      const char c = body[p];
+      if (c == ')') {
+        closed = true;
+        ++p;
+        break;
+      }
+      if (c == ',') {
+        rules.push_back(rule);
+        rule.clear();
+      } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        rule += c;
+      }
+    }
+    rules.push_back(rule);
+    if (!closed) {
+      out.suppressionErrors.push_back({commentLine, "unterminated allow(...) list"});
+      return;
+    }
+    // A justification is mandatory: skip the separator (em dash, '-' or ':')
+    // and require non-empty text after it.
+    skipWs();
+    while (p < body.size() &&
+           (body[p] == '-' || body[p] == ':' ||
+            static_cast<unsigned char>(body[p]) >= 0x80)) {
+      ++p;  // em dash is a multi-byte UTF-8 sequence; consume it wholesale
+    }
+    skipWs();
+    std::string justification = body.substr(p);
+    while (!justification.empty() &&
+           std::isspace(static_cast<unsigned char>(justification.back())) != 0) {
+      justification.pop_back();
+    }
+    if (justification.empty()) {
+      out.suppressionErrors.push_back(
+          {commentLine,
+           "suppression needs a justification: // displint: allow(RULE) — why"});
+      return;
+    }
+    for (const std::string& r : rules) {
+      if (r.empty()) {
+        out.suppressionErrors.push_back({commentLine, "empty rule id in allow(...)"});
+        continue;
+      }
+      Suppression s;
+      s.line = commentLine;
+      s.coversLine = standalone ? -1 : commentLine;  // resolved after lexing
+      s.rule = r;
+      s.justification = justification;
+      s.standalone = standalone;
+      out.suppressions.push_back(std::move(s));
+    }
+  }
+
+  void scanLineComment() {
+    const int start = line;
+    const bool standalone = lastCodeLine != line;
+    i += 2;
+    std::string body;
+    while (i < src.size() && src[i] != '\n') {
+      if (src[i] == '\\' && at(i + 1) == '\n') {  // spliced comment continues
+        ++line;
+        i += 2;
+        body += ' ';
+        continue;
+      }
+      body += src[i++];
+    }
+    handleComment(body, start, standalone);
+  }
+
+  void scanBlockComment() {
+    const int start = line;
+    const bool standalone = lastCodeLine != line;
+    i += 2;
+    std::string body;
+    while (i < src.size() && !(src[i] == '*' && at(i + 1) == '/')) {
+      if (src[i] == '\n') ++line;
+      body += src[i++];
+    }
+    if (i < src.size()) i += 2;
+    handleComment(body, start, standalone);
+  }
+
+  // --- preprocessor -------------------------------------------------------
+
+  // One logical directive line becomes one token; backslash continuations
+  // are joined so macro bodies (e.g. DISP_CHECK's definition) never leak
+  // into the code token stream.
+  void scanPreprocessor() {
+    const int start = line;
+    lastCodeLine = start;  // a trailing suppression covers the directive line
+    std::string text;
+    while (i < src.size() && src[i] != '\n') {
+      if (src[i] == '\\' && at(i + 1) == '\n') {
+        ++line;
+        i += 2;
+        text += ' ';
+        continue;
+      }
+      if (src[i] == '/' && at(i + 1) == '/') {  // trailing comment on directive
+        scanLineComment();
+        break;
+      }
+      if (src[i] == '/' && at(i + 1) == '*') {
+        scanBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += src[i++];
+    }
+    push(TokKind::Preprocessor, std::move(text), start);
+  }
+
+  // --- main loop ----------------------------------------------------------
+
+  void run() {
+    bool onlyWsOnLine = true;
+    while (i < src.size()) {
+      const char c = src[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        onlyWsOnLine = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '\\' && next() == '\n') {
+        ++line;
+        i += 2;
+        continue;
+      }
+      if (c == '/' && next() == '/') {
+        scanLineComment();
+        continue;
+      }
+      if (c == '/' && next() == '*') {
+        scanBlockComment();
+        // a block comment does not make the rest of the line "code yet"
+        continue;
+      }
+      if (c == '#' && onlyWsOnLine) {
+        scanPreprocessor();
+        onlyWsOnLine = true;  // directive consumed its whole line
+        continue;
+      }
+      onlyWsOnLine = false;
+      if (c == '"') {
+        scanString();
+        continue;
+      }
+      if (c == 'R' && next() == '"') {
+        scanRawString();
+        continue;
+      }
+      if (c == '\'') {
+        scanCharLit();
+        continue;
+      }
+      if (isIdentStart(c)) {
+        const int start = line;
+        std::string text;
+        while (i < src.size() && isIdentChar(src[i])) text += src[i++];
+        // String-literal prefixes (u8"...", L"...") — treat as the string.
+        if ((text == "u8" || text == "u" || text == "U" || text == "L") && cur() == '"') {
+          scanString();
+          continue;
+        }
+        push(TokKind::Identifier, std::move(text), start);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(next())) != 0)) {
+        scanNumber();
+        continue;
+      }
+      // Punctuator: maximal munch against the multi-char table.
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t len = p[2] == '\0' ? 2 : 3;
+        if (src.compare(i, len, p) == 0) {
+          push(TokKind::Punct, p, line);
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      push(TokKind::Punct, std::string(1, c), line);
+      ++i;
+    }
+    resolveStandaloneSuppressions();
+  }
+
+  // A standalone suppression covers the next line that carries a code token.
+  void resolveStandaloneSuppressions() {
+    for (Suppression& s : out.suppressions) {
+      if (!s.standalone) continue;
+      for (const Token& t : out.tokens) {
+        if (t.line > s.line) {
+          s.coversLine = t.line;
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  Lexer lx(source);
+  lx.run();
+  return std::move(lx.out);
+}
+
+}  // namespace displint

@@ -1,0 +1,61 @@
+#pragma once
+// displint lexer: a determinism-lint-grade C++ tokenizer.
+//
+// This is not a compiler front end.  It produces exactly what the displint
+// rules (rules.hpp) need and nothing more: a comment-free code token stream
+// with line numbers, preprocessor directives folded into single tokens, and
+// the `// displint: allow(RULE) — justification` suppression comments parsed
+// out as structured records.  Strings, raw strings, char literals and
+// line splices are handled so rule scans never misfire inside literal text.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace displint {
+
+enum class TokKind : std::uint8_t {
+  Identifier,    // identifiers and keywords (no distinction needed)
+  Number,        // numeric literal, including separators/suffixes
+  String,        // "..." or R"(...)" — text is the literal without quotes
+  CharLit,       // '...'
+  Punct,         // operator/punctuator, maximal munch (e.g. "<<=", "::")
+  Preprocessor,  // one whole logical directive line, splices joined
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 0;
+};
+
+/// A parsed `displint: allow(...)` comment.  `standalone` comments sit on a
+/// line of their own and cover the next line that carries code; trailing
+/// comments cover their own line.
+struct Suppression {
+  int line = 0;           ///< line the comment starts on
+  int coversLine = 0;     ///< resolved line the suppression applies to
+  std::string rule;       ///< e.g. "DL001"
+  std::string justification;
+  bool standalone = false;
+  bool used = false;
+};
+
+/// A malformed displint comment (missing justification, bad syntax).
+struct SuppressionError {
+  int line = 0;
+  std::string message;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<SuppressionError> suppressionErrors;
+};
+
+/// Tokenizes `source`.  Never throws on malformed input — an unterminated
+/// literal simply ends the token at end of file; lint rules degrade, the
+/// tool does not crash on code the compiler would reject anyway.
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace displint

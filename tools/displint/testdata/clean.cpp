@@ -1,0 +1,36 @@
+// displint selftest fixture: a COMPLIANT fact-path file.  Exercises the
+// allowed form next to each rule's hazard — suppressed keyed-lookup-only
+// maps, end()-compare lookups, constexpr/thread_local state, observation-only
+// checks — and must produce zero findings with both suppressions counted
+// as used.  (Never compiled; token-level fixture only.)
+#include <cstdint>
+#include <unordered_map>  // displint: allow(DL001) — keyed-lookup-only cache below
+#include <vector>
+
+namespace fixture {
+
+inline constexpr std::uint32_t kLimit = 64;  // constexpr global: allowed
+
+struct Index {
+  // displint: allow(DL001) — find()/erase() only; never iterated, so hash
+  // order cannot reach facts.
+  std::unordered_map<std::uint32_t, std::uint32_t> at;
+
+  [[nodiscard]] std::uint32_t countAt(std::uint32_t v) const {
+    const auto it = at.find(v);
+    return it == at.end() ? 0u : it->second;  // end() compare = lookup, legal
+  }
+};
+
+inline std::uint32_t nextId() {
+  static constexpr std::uint32_t kBase = 7;   // constexpr local: allowed
+  thread_local std::uint32_t scratch = kBase;  // thread_local: allowed
+  return ++scratch;
+}
+
+inline void checkedStep(std::vector<std::uint32_t>& xs) {
+  DISP_CHECK(xs.size() < kLimit, "observation-only argument");
+  xs.push_back(nextId());
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// displint selftest fixture: suppression hygiene.  Every allow() here is
+// defective — unused (nothing flagged on the covered line), wrong rule,
+// unknown rule, or missing its justification — so the underlying DL005
+// findings must survive and each defect must surface as DL000.
+// Expect under --assume=fact: 4 × DL000 and 3 × DL005, exit 1.
+#include <cstdint>
+
+namespace fixture {
+
+// displint: allow(DL001) — covers the next line, where nothing is flagged
+std::uint32_t liveCounter = 0;    // displint: allow(DL002) — wrong rule for this line
+static std::uint32_t hidden = 1;  // displint: allow(DL999) — no such rule
+std::uint32_t noWhy = 2;          // displint: allow(DL005)
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# displint selftest fixture (DL006): out of sync with ../src/core/trace.cpp —
+# "vanish" is absent and "ghost" is stale.
+python3 - "$1" <<'EOF'
+KINDS = {"move", "ghost", "sample"}
+EOF

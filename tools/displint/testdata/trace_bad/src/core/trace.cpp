@@ -1,0 +1,15 @@
+// displint selftest fixture (DL006): "vanish" is emitted but missing from
+// the schema, and the schema's "ghost" matches no kind here.  Expect 2 × DL006.
+#include "core/trace.hpp"
+
+namespace disp {
+
+const char* traceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Move: return "move";
+    case TraceEventKind::Vanish: return "vanish";
+  }
+  return "?";
+}
+
+}  // namespace disp

@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# displint selftest fixture (DL006): schema in sync with ../src/core/trace.cpp
+# ("sample" is the engine-level snapshot line, not a TraceEvent kind).
+python3 - "$1" <<'EOF'
+KINDS = {"move", "settle", "sample"}
+EOF

@@ -1,0 +1,15 @@
+// displint selftest fixture (DL006): a miniature trace.cpp whose kind
+// names all have schema entries in the sibling scripts/check_trace.sh.
+#include "core/trace.hpp"
+
+namespace disp {
+
+const char* traceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Move: return "move";
+    case TraceEventKind::Settle: return "settle";
+  }
+  return "?";
+}
+
+}  // namespace disp

@@ -1,0 +1,18 @@
+// displint selftest fixture: every DL001 (unordered-iteration) shape —
+// the include, the unsuppressed declaration, a range-for and an explicit
+// begin().  Expect exactly 4 × DL001 under --assume=fact.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+inline std::uint32_t sum() {
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  std::uint32_t total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  auto it = counts.begin();
+  (void)it;
+  return total;
+}
+
+}  // namespace fixture

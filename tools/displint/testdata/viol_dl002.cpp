@@ -1,0 +1,22 @@
+// displint selftest fixture: DL002 (wallclock-entropy) sources.  Expect
+// exactly 5 × DL002 in a non-exempt scope and zero under --assume=exempt.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline std::uint64_t entropySoup() {
+  std::random_device rd;                                     // DL002
+  const auto t = std::chrono::steady_clock::now();           // DL002
+  const auto c = std::chrono::high_resolution_clock::now();  // DL002
+  std::uint64_t x = static_cast<std::uint64_t>(rand());      // DL002
+  x += static_cast<std::uint64_t>(time(nullptr));            // DL002
+  (void)t;
+  (void)c;
+  (void)rd;
+  return x;
+}
+
+}  // namespace fixture

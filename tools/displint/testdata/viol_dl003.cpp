@@ -1,0 +1,32 @@
+// displint selftest fixture: DL003 (pointer-order) shapes — address
+// comparison, pointer-to-integer cast, pointer-keyed containers and a
+// pointer hash.  Expect exactly 5 × DL003 under --assume=fact.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Agent {
+  std::uint32_t id;
+};
+
+inline bool before(const Agent& a, const Agent& b) {
+  return &a < &b;  // DL003: address order
+}
+
+inline std::size_t key(const Agent* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // DL003: address-derived value
+}
+
+inline void containers() {
+  std::map<Agent*, std::uint32_t> rankByAddress;  // DL003: pointer key
+  std::set<const Agent*> seen;                    // DL003: pointer key
+  std::hash<Agent*> addressHash;                  // DL003: pointer hash
+  (void)rankByAddress;
+  (void)seen;
+  (void)addressHash;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// displint selftest fixture: DL004 (check-side-effect) shapes — an
+// increment, an assignment and a mutating member call inside DISP_* check
+// arguments.  Expect exactly 3 × DL004 (any scope).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline void hiddenMutation(std::vector<std::uint32_t>& xs, std::uint32_t x) {
+  DISP_CHECK(++x > 0, "increment in an always-on check");
+  DISP_REQUIRE(x = static_cast<std::uint32_t>(xs.size()), "assignment");
+  DISP_DCHECK((xs.erase(xs.begin()), !xs.empty()), "Debug-only mutation");
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// displint selftest fixture: DL005 (mutable-static) shapes — a
+// namespace-scope mutable global, a function-local mutable static and a
+// mutable static data member.  Expect exactly 3 × DL005 under --assume=fact.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+std::uint32_t callCount = 0;  // DL005: namespace-scope global
+
+inline std::uint32_t bump() {
+  static std::uint32_t hits = 0;  // DL005: function-local static
+  return ++hits + callCount;
+}
+
+struct Cache {
+  static std::vector<std::uint32_t> shared;  // DL005: static data member
+};
+
+}  // namespace fixture
