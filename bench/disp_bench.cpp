@@ -19,6 +19,7 @@ void printUsage(std::ostream& os) {
         "                  [--trace=PATH | --trajectory=PATH] [--sample=N]\n"
         "                  [--graphs=SPEC;SPEC] [--placements=SPEC;SPEC]\n"
         "                  [--ks=a,b,c] [--faults=SPEC;SPEC] [--shard=I/N]\n"
+        "                  [--list-cells] [--stream-cells]\n"
         "                  <sweep>... | all\n\n"
         "sweeps:\n";
   for (const auto& def : disp::exp::benchRegistry()) {
@@ -40,6 +41,10 @@ void printUsage(std::ostream& os) {
         "(the `faults` sweep is the self-stabilization scorecard).\n"
         "--shard=I/N runs every Nth cell of the deterministic enumeration;\n"
         "merge shard JSONL outputs with scripts/merge_jsonl.sh.\n"
+        "--list-cells prints the enumeration (one JSON line per cell) without\n"
+        "running anything; --stream-cells flushes the JSONL sink after every\n"
+        "cell so rows are durable under kill -9 (disp_fleet drives both).\n"
+        "Exit codes: 0 ok, 1 sweep error, 2 usage, 3 shard owns zero cells.\n"
         "--run-threads=N parallelizes inside each SYNC run (facts stay\n"
         "byte-identical); requires --threads=1 — the two axes multiply.\n"
         "Algorithms are registry keys:\n";

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Validates a disp_fleet run's fleet_events.jsonl against the event schema
+# (src/fleet/events.hpp / DESIGN.md §13):
+#
+#   scripts/check_fleet_events.sh fleet_events.jsonl
+#
+# Checks, per line: valid JSON, a known "event" kind, exactly the required
+# keys for that kind (plus seq/t_ms), and numeric payloads where the schema
+# demands them.  Checks, per file: "seq" strictly increasing across the
+# whole file (a resumed coordinator continues the sequence), "t_ms"
+# non-decreasing within each coordinator run (it resets at run_start), at
+# least one run_start, and a terminal run_done.  Exits nonzero with a
+# diagnostic on the first violation.
+set -euo pipefail
+
+EVENTS="${1:?usage: scripts/check_fleet_events.sh <fleet_events.jsonl>}"
+
+python3 - "${EVENTS}" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+REQUIRED = {
+    "run_start": {"sweeps", "fleet", "shards", "workers", "cells", "resumed"},
+    "resume": {"shard", "state", "cells_done", "cells", "complete"},
+    "spawn": {"shard", "attempt", "pid", "worker", "output"},
+    "exit": {"shard", "attempt", "pid", "code", "signal"},
+    "stall": {"shard", "attempt", "idle_ms"},
+    "chaos_kill": {"shard", "attempt", "rows"},
+    "retry": {"shard", "attempt", "delay_ms"},
+    "poison": {"shard", "attempts"},
+    "shard_done": {"shard", "attempts", "rows", "cells", "empty"},
+    "merge": {"files", "rows_in", "rows_out", "dups", "partial_tails",
+              "output"},
+    "divergence": {"cells"},
+    "run_done": {"ok", "failed_shards"},
+}
+NUMERIC = {"seq", "t_ms", "shard", "attempt", "attempts", "cells",
+           "cells_done", "workers", "shards", "rows", "rows_in", "rows_out",
+           "dups", "partial_tails", "files", "idle_ms", "delay_ms", "pid"}
+YESNO = {"resumed", "complete", "empty", "ok"}
+
+last_seq = 0
+last_t = 0
+counts = dict.fromkeys(REQUIRED, 0)
+last_kind = None
+
+with open(path) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+        kind = rec.get("event")
+        if kind not in REQUIRED:
+            sys.exit(f"{path}:{lineno}: unknown event kind {kind!r}")
+        counts[kind] += 1
+        last_kind = kind
+        want = {"seq", "t_ms", "event"} | REQUIRED[kind]
+        if set(rec) != want:
+            sys.exit(f"{path}:{lineno}: {kind} line has keys {sorted(rec)}, "
+                     f"expected {sorted(want)}")
+        for key in set(rec) & NUMERIC:
+            if not str(rec[key]).isdigit():
+                sys.exit(f"{path}:{lineno}: field {key!r} = {rec[key]!r} is "
+                         f"not a non-negative integer")
+        for key in set(rec) & YESNO:
+            if rec[key] not in ("yes", "no"):
+                sys.exit(f"{path}:{lineno}: field {key!r} = {rec[key]!r} is "
+                         f"not yes/no")
+        seq = int(rec["seq"])
+        if seq <= last_seq:
+            sys.exit(f"{path}:{lineno}: seq not strictly increasing: "
+                     f"{last_seq} -> {seq}")
+        last_seq = seq
+        t = int(rec["t_ms"])
+        if kind == "run_start":
+            last_t = 0  # t_ms is per-coordinator-run wall clock
+        if t < last_t:
+            sys.exit(f"{path}:{lineno}: t_ms went backwards within a run: "
+                     f"{last_t} -> {t}")
+        last_t = t
+
+if counts["run_start"] == 0:
+    sys.exit(f"{path}: no run_start event — not a fleet event stream")
+if last_kind != "run_done":
+    sys.exit(f"{path}: stream does not end with run_done (last: {last_kind})")
+# A coordinator SIGKILL'd between spawn and exit legitimately leaves an
+# unmatched spawn behind (resume re-dispatches the shard), but an exit
+# without a spawn is impossible history.
+if counts["exit"] > counts["spawn"]:
+    sys.exit(f"{path}: {counts['exit']} exits exceed {counts['spawn']} spawns")
+
+summary = ", ".join(f"{k}={counts[k]}" for k in sorted(counts) if counts[k])
+print(f"OK {path}: seq {last_seq}, {summary}")
+EOF

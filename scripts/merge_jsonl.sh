@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Merges the JSONL outputs of sharded disp_bench runs (--shard=I/N) into
-# one stream, validating that every line parses as JSON and that no row
-# appears in more than one shard (identical rows across shards mean the
-# shards overlapped — e.g. two processes run with the same --shard index).
+# one stream.  Thin wrapper over `disp_fleet merge --dup=error`, which owns
+# the real collector (src/fleet/collector.cpp): every line must parse as
+# JSON, a row repeated across inputs is rejected ("overlapping shards?"),
+# and two rows for the same cell that disagree on a fact column fail the
+# merge with a cell-level diff (telemetry columns are exempt).
 #
 #   scripts/merge_jsonl.sh OUT SHARD1.jsonl SHARD2.jsonl [...]
 #
 # Rows are concatenated in argument order, which preserves per-shard
 # streaming order; consumers key on the self-describing row fields
-# (sweep/table/family/k/...), not on line position.
+# (sweep/table/family/k/...), not on line position.  DISP_FLEET points at
+# the disp_fleet binary (default: build/disp_fleet).
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -18,37 +21,4 @@ fi
 OUT="$1"
 shift
 
-python3 - "$OUT" "$@" <<'EOF'
-import json, sys
-
-out, shards = sys.argv[1], sys.argv[2:]
-seen = {}
-lines = []
-failures = 0
-for path in shards:
-    with open(path) as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            try:
-                json.loads(line)
-            except json.JSONDecodeError as e:
-                print(f"FAIL {path}:{lineno}: not JSON ({e})", file=sys.stderr)
-                failures += 1
-                continue
-            if line in seen:
-                print(f"FAIL {path}:{lineno}: duplicate row (also in "
-                      f"{seen[line][0]}:{seen[line][1]}) — overlapping shards?",
-                      file=sys.stderr)
-                failures += 1
-                continue
-            seen[line] = (path, lineno)
-            lines.append(line)
-if failures:
-    sys.exit(1)
-with open(out, "w") as f:
-    for line in lines:
-        f.write(line + "\n")
-print(f"merged {len(lines)} rows from {len(shards)} shard(s) into {out}")
-EOF
+exec "${DISP_FLEET:-build/disp_fleet}" merge --dup=error --out="$OUT" "$@"

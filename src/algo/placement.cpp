@@ -79,6 +79,33 @@ Placement adversarialFarPlacement(const Graph& g, std::uint32_t k,
   return p;
 }
 
+Placement adversarialFrontierPlacement(const Graph& g, std::uint32_t k,
+                                       std::uint32_t clusters, std::uint64_t seed) {
+  DISP_REQUIRE(k >= 1 && k <= g.nodeCount(), "k must be in [1, n]");
+  DISP_REQUIRE(clusters >= 1 && clusters <= k, "clusters must be in [1, k]");
+  // Deepest BFS levels from node 0 — the corner a lowest-id-rooted
+  // tree-growing phase expands from.  Stable sort on a node-id-ordered
+  // candidate list keeps equal-depth ties in id order: fully deterministic,
+  // no RNG in the positions.
+  const std::vector<std::uint32_t> dist = bfsDistances(g, 0);
+  std::vector<NodeId> candidates;
+  candidates.reserve(g.nodeCount());
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    if (dist[v] != kUnreachable) candidates.push_back(v);
+  }
+  DISP_REQUIRE(clusters <= candidates.size(),
+               "clusters must be <= the component of node 0");
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&dist](NodeId a, NodeId b) { return dist[a] > dist[b]; });
+  candidates.resize(clusters);
+
+  Placement p;
+  p.positions.reserve(k);
+  for (std::uint32_t a = 0; a < k; ++a) p.positions.push_back(candidates[a % clusters]);
+  p.ids = randomIds(k, seed);
+  return p;
+}
+
 Placement adversarialHotPlacement(const Graph& g, std::uint32_t k,
                                   std::uint64_t seed) {
   DISP_REQUIRE(g.nodeCount() >= 1, "empty graph");
@@ -95,7 +122,7 @@ namespace {
   throw std::invalid_argument(
       "bad placement spec '" + text + "': " + why +
       " (known: rooted[:root=R], clusters:l=L, spread, adversarial:far[,l=L], "
-      "adversarial:hot)");
+      "adversarial:frontier[,l=L], adversarial:hot)");
 }
 
 /// Parses the comma-separated `key=value` args of a placement spec; only
@@ -161,6 +188,10 @@ PlacementSpec PlacementSpec::parse(const std::string& text) {
       spec.kind_ = Kind::AdversarialFar;
       spec.clusters_ = parseOnlyParam(text, args, "l", 2);
       if (spec.clusters_ < 1) placeFail(text, "l must be >= 1");
+    } else if (mode == "frontier") {
+      spec.kind_ = Kind::AdversarialFrontier;
+      spec.clusters_ = parseOnlyParam(text, args, "l", 2);
+      if (spec.clusters_ < 1) placeFail(text, "l must be >= 1");
     } else if (mode == "hot") {
       if (!args.empty()) placeFail(text, "adversarial:hot takes no parameters");
       spec.kind_ = Kind::AdversarialHot;
@@ -184,6 +215,9 @@ std::string PlacementSpec::toString() const {
     case Kind::AdversarialFar:
       return clusters_ == 2 ? "adversarial:far"
                             : "adversarial:far,l=" + std::to_string(clusters_);
+    case Kind::AdversarialFrontier:
+      return clusters_ == 2 ? "adversarial:frontier"
+                            : "adversarial:frontier,l=" + std::to_string(clusters_);
     case Kind::AdversarialHot:
       return "adversarial:hot";
   }
@@ -197,6 +231,7 @@ std::uint32_t PlacementSpec::clusterCount() const {
       return 1;
     case Kind::Clusters:
     case Kind::AdversarialFar:
+    case Kind::AdversarialFrontier:
       return clusters_;
     case Kind::Spread:
       return 0;
@@ -213,6 +248,8 @@ std::string PlacementSpec::tableLabel() const {
       return "spread";
     case Kind::AdversarialFar:
       return "far:" + std::to_string(clusters_);
+    case Kind::AdversarialFrontier:
+      return "frontier:" + std::to_string(clusters_);
     case Kind::AdversarialHot:
       return "hot";
   }
@@ -230,6 +267,8 @@ Placement PlacementSpec::place(const Graph& g, std::uint32_t k,
       return scatteredPlacement(g, k, seed);
     case Kind::AdversarialFar:
       return adversarialFarPlacement(g, k, clusters_, seed);
+    case Kind::AdversarialFrontier:
+      return adversarialFrontierPlacement(g, k, clusters_, seed);
     case Kind::AdversarialHot:
       return adversarialHotPlacement(g, k, seed);
   }

@@ -15,6 +15,10 @@
 //   adversarial:far       ℓ (default 2) diameter-separated clusters — the
 //                         lower-bound-style "maximally remote sources"
 //                         start (adversarial:far,l=4 for more clusters)
+//   adversarial:frontier  ℓ (default 2) clusters on the deepest BFS levels
+//                         from node 0 — every cluster starts a full
+//                         eccentricity away from the id-0 corner the
+//                         tree-growing phase expands from
 //   adversarial:hot       all k agents co-located on a maximum-degree node
 //                         (O(Δ)-probing stress)
 //
@@ -58,6 +62,14 @@ struct Placement {
                                                 std::uint32_t clusters,
                                                 std::uint64_t seed);
 
+/// ℓ clusters on the nodes BFS from node 0 reaches last: candidates are
+/// the reachable nodes sorted by (distance from node 0 descending, node id
+/// ascending) and the first ℓ become centers.  Positions are deterministic;
+/// seed drives only the IDs.
+[[nodiscard]] Placement adversarialFrontierPlacement(const Graph& g, std::uint32_t k,
+                                                     std::uint32_t clusters,
+                                                     std::uint64_t seed);
+
 /// All k agents on a maximum-degree node (lowest id on ties).
 [[nodiscard]] Placement adversarialHotPlacement(const Graph& g, std::uint32_t k,
                                                 std::uint64_t seed);
@@ -68,7 +80,14 @@ struct Placement {
 /// A parsed placement spec (see file header for the grammar).
 class PlacementSpec {
  public:
-  enum class Kind { Rooted, Clusters, Spread, AdversarialFar, AdversarialHot };
+  enum class Kind {
+    Rooted,
+    Clusters,
+    Spread,
+    AdversarialFar,
+    AdversarialFrontier,
+    AdversarialHot,
+  };
 
   /// Throws std::invalid_argument on an unknown kind or parameter.
   [[nodiscard]] static PlacementSpec parse(const std::string& text);
@@ -78,7 +97,7 @@ class PlacementSpec {
 
   [[nodiscard]] Kind kind() const { return kind_; }
   /// Start-node count ℓ: 1 for rooted/hot, the l parameter for
-  /// clusters/far, 0 (= k, one per agent) for spread.
+  /// clusters/far/frontier, 0 (= k, one per agent) for spread.
   [[nodiscard]] std::uint32_t clusterCount() const;
   /// Short table-cell label; matches the historical ℓ column for the
   /// rooted/clusters kinds ("1", "8", ...), names the others.
@@ -90,7 +109,7 @@ class PlacementSpec {
 
  private:
   Kind kind_ = Kind::Rooted;
-  std::uint32_t clusters_ = 1;  // Clusters / AdversarialFar
+  std::uint32_t clusters_ = 1;  // Clusters / AdversarialFar / AdversarialFrontier
   NodeId root_ = 0;             // Rooted
 };
 

@@ -16,7 +16,9 @@
 // replicates (Cell::ran() == false); scripts/merge_jsonl.sh recombines the
 // shards' JSONL outputs.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "exp/sweep.hpp"
@@ -49,6 +51,16 @@ struct BatchOptions {
   /// resident (shared Graph included).  Under concurrent cells the sample
   /// would be cross-cell noise, so it is skipped (peakRssMb stays 0).
   bool resetPeakRss = false;
+  /// Enumerate-only mode (disp_bench --list-cells / the disp_fleet
+  /// coordinator's shard sizing): when set, run() validates the spec and
+  /// invokes this for every cell of the canonical enumeration — in order,
+  /// with `owned` per the shard partition above — then returns a result
+  /// whose cells carry keys but no replicates.  Nothing is simulated and
+  /// no graph is built.
+  std::function<void(std::size_t index, const CellKey& key, bool owned)> onCellListed;
+  /// When set, run() adds the number of cells this shard owns (whether or
+  /// not enumerate-only) — how disp_bench detects an empty shard.
+  std::atomic<std::uint64_t>* ownedCells = nullptr;
   /// Observer plumbing: when set, invoked for every (cell, replicate)
   /// right before its run to install trace/snapshot hooks on the run's
   /// RunOptions.  Called concurrently from worker threads — both the hook

@@ -1,15 +1,18 @@
 #include "exp/bench_registry.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <streambuf>
 #include <thread>
 
 #include "algo/placement.hpp"
 #include "core/faults.hpp"
 #include "exp/benches.hpp"
 #include "graph/spec.hpp"
+#include "util/stats.hpp"
 
 namespace disp::exp {
 
@@ -28,15 +31,15 @@ const std::vector<BenchDef>& benchRegistry() {
       {"table1_scale", "E15: SYNC rooted at k=2^10..2^14 (streams cells to JSONL)",
        &benchTable1Scale},
       {"fig1_empty_selection", "E6: empty-node fraction on random trees (Lemma 1)",
-       &benchFig1EmptySelection},
+       &benchFig1EmptySelection, /*heavy=*/false, /*shardable=*/false},
       {"fig2_oscillation", "E7: cover-assignment statistics (Lemmas 2-3)",
-       &benchFig2Oscillation},
+       &benchFig2Oscillation, /*heavy=*/false, /*shardable=*/false},
       {"fig5_sync_probe", "E8: Sync_Probe rounds vs degree (Lemma 4)",
-       &benchFig5SyncProbe},
+       &benchFig5SyncProbe, /*heavy=*/false, /*shardable=*/false},
       {"fig6_guest_see_off", "E10: Guest_See_Off sweeps vs log k (Lemma 6)",
-       &benchFig6GuestSeeOff},
+       &benchFig6GuestSeeOff, /*heavy=*/false, /*shardable=*/false},
       {"fig7_async_probe", "E9: Async_Probe iterations vs log k (Lemma 5)",
-       &benchFig7AsyncProbe},
+       &benchFig7AsyncProbe, /*heavy=*/false, /*shardable=*/false},
       {"lower_bound_line", "E11: time/k on the Omega(k) path instance",
        &benchLowerBoundLine},
       {"ablation_techniques", "E12: KS -> doubling -> full technique levels",
@@ -44,9 +47,9 @@ const std::vector<BenchDef>& benchRegistry() {
       {"ablation_scheduler", "E13: epoch robustness across ASYNC schedulers",
        &benchAblationScheduler},
       {"wallclock", "E14: simulator wall-clock per run (telemetry)",
-       &benchWallclock},
+       &benchWallclock, /*heavy=*/false, /*shardable=*/false},
       {"scaling", "E18: single-run wallclock vs --run-threads lanes (telemetry)",
-       &benchScaling},
+       &benchScaling, /*heavy=*/false, /*shardable=*/false},
       {"scale_real", "E19: web-scale ingest & peak-RSS campaign (n=10^6..10^7)",
        &benchScaleReal, /*heavy=*/true},
       {"trace_smoke", "E16: tiny observed cells (drives --trace / check_trace.sh)",
@@ -66,6 +69,94 @@ const BenchDef* findBench(const std::string& name) {
   return nullptr;
 }
 
+std::pair<unsigned, unsigned> parseShardFlag(const std::string& value) {
+  const auto fail = [&value](const std::string& why) {
+    return std::invalid_argument("--shard=" + value + ": " + why +
+                                 " (canonical form is I/N, e.g. --shard=0/4)");
+  };
+  const auto slash = value.find('/');
+  if (slash == std::string::npos || value.find('/', slash + 1) != std::string::npos) {
+    throw fail("wants exactly one '/'");
+  }
+  const std::string index = value.substr(0, slash);
+  const std::string count = value.substr(slash + 1);
+  // Canonical decimal only: one spelling per shard, so coordinator file
+  // names and dedup identities can never alias ("01/4" vs "1/4").
+  const auto canonical = [](const std::string& s) {
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) return false;
+    return s.size() == 1 || s[0] != '0';
+  };
+  if (!canonical(index)) throw fail("index is not a canonical decimal");
+  if (!canonical(count)) throw fail("count is not a canonical decimal");
+  if (index.size() > 4 || count.size() > 4) throw fail("shard numbers out of range");
+  const unsigned long long i = std::stoull(index);
+  const unsigned long long n = std::stoull(count);
+  if (n < 1 || n > 4096) throw fail("count must be in [1, 4096]");
+  if (i >= n) throw fail("index must be < count");
+  return {static_cast<unsigned>(i), static_cast<unsigned>(n)};
+}
+
+namespace {
+
+/// --seeds/--graphs/--placements/--faults/--ks, validated up front so a
+/// typo'd spec fails before any sweep runs.  Shared by runBenches and
+/// listBenchCells; throws std::invalid_argument.
+void applyAxisOverrides(BenchContext& ctx, const Cli& cli) {
+  ctx.seedOverride = cli.u64list("seeds");
+  // Workload overrides: ';'-separated GraphSpec / PlacementSpec strings
+  // (spec parameters use ',' internally) and a comma-separated k list.
+  ctx.graphOverride = cli.specList("graphs");
+  ctx.placementOverride = cli.specList("placements");
+  ctx.faultsOverride = cli.specList("faults");
+  for (const std::string& g : ctx.graphOverride) (void)GraphSpec::parse(g);
+  for (const std::string& p : ctx.placementOverride) (void)PlacementSpec::parse(p);
+  for (const std::string& f : ctx.faultsOverride) (void)FaultSpec::parse(f);
+  for (const std::uint64_t k : cli.u64list("ks")) {
+    if (k < 1 || k > (1ULL << 24)) {
+      throw std::invalid_argument("--ks values must be in [1, 2^24]");
+    }
+    ctx.kOverride.push_back(static_cast<std::uint32_t>(k));
+  }
+}
+
+struct NullBuffer : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
+}  // namespace
+
+std::vector<ListedCell> listBenchCells(const std::vector<std::string>& names,
+                                       const Cli& cli) {
+  for (const std::string& name : names) {
+    const BenchDef* def = findBench(name);
+    if (def == nullptr) throw std::invalid_argument("unknown sweep '" + name + "'");
+    if (!def->shardable) {
+      throw std::invalid_argument(
+          "sweep '" + name + "' is not shardable (hand-rolled loop outside "
+          "the canonical cell enumeration) — every shard would rerun it whole");
+    }
+  }
+  NullBuffer nullBuf;
+  std::ostream nullOut(&nullBuf);
+  BenchContext ctx{nullOut, nullptr, {}, {}, {}, {}, {}, {}};
+  applyAxisOverrides(ctx, cli);
+  ctx.enumerateOnly = true;
+  std::vector<ListedCell> out;
+  std::string currentSweep;
+  std::size_t invocations = 0;
+  ctx.batch.onCellListed = [&out, &currentSweep, &invocations](
+                               std::size_t index, const CellKey& key, bool) {
+    if (index == 0) ++invocations;  // every run() call starts at cell 0
+    out.push_back({currentSweep, invocations - 1, index, key});
+  };
+  for (const std::string& name : names) {
+    currentSweep = name;
+    invocations = 0;
+    findBench(name)->fn(ctx);
+  }
+  return out;
+}
+
 int runBenches(const std::vector<std::string>& names, const Cli& cli) {
   for (const std::string& name : names) {
     if (!findBench(name)) {
@@ -73,6 +164,38 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
       for (const BenchDef& def : benchRegistry()) {
         std::cerr << "  " << def.name << "\n";
       }
+      return 2;
+    }
+  }
+
+  // --list-cells: print the canonical enumeration (respecting --shard and
+  // the axis overrides) as JSON lines and exit — nothing is simulated.  An
+  // empty listing is a valid answer, so this path always exits 0.
+  if (cli.has("list-cells")) {
+    unsigned listShardIndex = 0, listShardCount = 1;
+    try {
+      if (cli.has("shard")) {
+        const auto sh = parseShardFlag(cli.str("shard", ""));
+        listShardIndex = sh.first;
+        listShardCount = sh.second;
+      }
+      const std::vector<ListedCell> cells = listBenchCells(names, cli);
+      JsonlWriter out(std::cout);
+      for (const ListedCell& c : cells) {
+        if (c.index % listShardCount != listShardIndex) continue;
+        out.record({{"sweep", c.sweep},
+                    {"invocation", std::to_string(c.invocation)},
+                    {"index", std::to_string(c.index)},
+                    {"graph", c.key.graph},
+                    {"k", std::to_string(c.key.k)},
+                    {"placement", c.key.placement},
+                    {"sched", c.key.scheduler},
+                    {"algo", c.key.algorithm},
+                    {"faults", c.key.faults}});
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
       return 2;
     }
   }
@@ -114,55 +237,78 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
                  "parallelism multiply; pick one axis)\n";
     return 2;
   }
-  ctx.seedOverride = cli.u64list("seeds");
-
-  // Workload overrides: ';'-separated GraphSpec / PlacementSpec strings
-  // (spec parameters use ',' internally) and a comma-separated k list.
-  // Validate up front so a typo'd spec fails before any sweep runs.
-  ctx.graphOverride = cli.specList("graphs");
-  ctx.placementOverride = cli.specList("placements");
-  ctx.faultsOverride = cli.specList("faults");
   try {
-    for (const std::string& g : ctx.graphOverride) (void)GraphSpec::parse(g);
-    for (const std::string& p : ctx.placementOverride) {
-      (void)PlacementSpec::parse(p);
-    }
-    for (const std::string& f : ctx.faultsOverride) (void)FaultSpec::parse(f);
+    applyAxisOverrides(ctx, cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
-  for (const std::uint64_t k : cli.u64list("ks")) {
-    if (k < 1 || k > (1ULL << 24)) {
-      std::cerr << "error: --ks values must be in [1, 2^24]\n";
-      return 2;
-    }
-    ctx.kOverride.push_back(static_cast<std::uint32_t>(k));
-  }
 
   // --shard=I/N: deterministic cell-index partition (merge the JSONL
-  // outputs with scripts/merge_jsonl.sh).
-  const std::string shard = cli.str("shard", "");
-  if (!shard.empty()) {
-    const auto slash = shard.find('/');
-    if (slash == std::string::npos) {
-      std::cerr << "error: --shard wants I/N (e.g. --shard=0/4)\n";
-      return 2;
-    }
-    std::uint64_t index = 0, count = 0;
+  // outputs with scripts/merge_jsonl.sh or disp_fleet merge).
+  if (cli.has("shard")) {
     try {
-      index = parseU64(shard.substr(0, slash), "--shard index");
-      count = parseU64(shard.substr(slash + 1), "--shard count");
+      const auto sh = parseShardFlag(cli.str("shard", ""));
+      ctx.batch.shardIndex = sh.first;
+      ctx.batch.shardCount = sh.second;
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 2;
     }
-    if (count < 1 || count > 4096 || index >= count) {
-      std::cerr << "error: --shard=I/N needs I < N <= 4096\n";
+    for (const std::string& name : names) {
+      if (!findBench(name)->shardable) {
+        std::cerr << "error: sweep '" << name
+                  << "' is not shardable (hand-rolled loop outside the "
+                     "canonical cell enumeration) — every shard would rerun "
+                     "it whole; drop --shard or drop the sweep\n";
+        return 2;
+      }
+    }
+  }
+
+  // Empty-shard detection: every BatchRunner invocation adds the cells
+  // this shard owns; zero at the end means the JSONL output is validly
+  // empty (kEmptyShardExitCode, distinct from a crash).
+  std::atomic<std::uint64_t> ownedCells{0};
+  ctx.batch.ownedCells = &ownedCells;
+
+  // --stream-cells: mirror every finished cell as one generic row the
+  // moment its replicates land (completion order; the sink flushes per
+  // line), so a SIGKILL'd worker keeps its finished cells durable.  Suites
+  // with richer custom streams (table1_scale, scale_real) override this
+  // hook on their own BatchOptions copy.
+  std::string currentSweep;
+  if (cli.has("stream-cells")) {
+    if (jsonl == nullptr) {
+      std::cerr << "error: --stream-cells wants --jsonl=PATH (it streams "
+                   "cell rows there)\n";
       return 2;
     }
-    ctx.batch.shardIndex = static_cast<unsigned>(index);
-    ctx.batch.shardCount = static_cast<unsigned>(count);
+    ctx.batch.onCellDone = [&currentSweep, sink = jsonl.get()](const Cell& c) {
+      std::size_t errors = 0;
+      for (const RunRecord& r : c.replicates) {
+        if (!r.error.empty()) ++errors;
+      }
+      std::vector<std::pair<std::string, std::string>> fields;
+      fields.emplace_back("sweep", currentSweep);
+      fields.emplace_back("table", "cell");
+      fields.emplace_back("graph", c.key.graph);
+      fields.emplace_back("k", std::to_string(c.key.k));
+      fields.emplace_back("placement", c.key.placement);
+      fields.emplace_back("sched", c.key.scheduler);
+      fields.emplace_back("algo", c.key.algorithm);
+      fields.emplace_back("faults", c.key.faults);
+      fields.emplace_back("n", std::to_string(c.first().n));
+      fields.emplace_back("m", std::to_string(c.first().edges));
+      fields.emplace_back("Delta", std::to_string(c.first().maxDegree));
+      fields.emplace_back("time",
+                          fmt(c.meanTime(), c.replicates.size() == 1 ? 0 : 1));
+      fields.emplace_back("moves", std::to_string(c.first().run.totalMoves));
+      fields.emplace_back("dispersed", c.allDispersed() ? "yes" : "NO");
+      fields.emplace_back("errors", std::to_string(errors));
+      fields.emplace_back("seeds", std::to_string(c.replicates.size()));
+      sink->record(fields);
+    };
   }
 
   // Trace sink: every replicate of every selected sweep streams its typed
@@ -215,6 +361,7 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
   }
 
   for (const std::string& name : names) {
+    currentSweep = name;
     try {
       findBench(name)->fn(ctx);
     } catch (const std::exception& e) {
@@ -242,6 +389,11 @@ int runBenches(const std::vector<std::string>& names, const Cli& cli) {
       std::cerr << "error: writing --trajectory file failed: " << trajPath << "\n";
       return 1;
     }
+  }
+  if (cli.has("shard") && ownedCells.load() == 0) {
+    std::cerr << "note: --shard=" << cli.str("shard", "")
+              << " owns zero cells of the selected sweeps (valid, just empty)\n";
+    return kEmptyShardExitCode;
   }
   return 0;
 }

@@ -1,0 +1,63 @@
+#include "fleet/events.hpp"
+
+#include <stdexcept>
+
+#include "fleet/json.hpp"
+
+namespace disp::fleet {
+
+namespace {
+
+/// Highest "seq" in an existing events file (0 when absent/empty).  A
+/// partial trailing line — the coordinator can be SIGKILL'd mid-write —
+/// parses as garbage and is simply skipped; seq gaps are harmless, only
+/// monotonicity matters.
+std::uint64_t lastSeq(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::uint64_t last = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const JsonValue rec = JsonValue::parse(line);
+      if (const JsonValue* seq = rec.find("seq")) {
+        const std::string& s = seq->asString();
+        if (!s.empty() && s.find_first_not_of("0123456789") == std::string::npos) {
+          last = std::max<std::uint64_t>(last, std::stoull(s));
+        }
+      }
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+FleetEventLog::FleetEventLog(const std::string& path)
+    : seq_(lastSeq(path) + 1), start_(std::chrono::steady_clock::now()) {
+  out_.open(path, std::ios::app);
+  if (!out_) throw std::runtime_error("cannot open fleet events file: " + path);
+}
+
+void FleetEventLog::emit(const std::string& kind,
+                         std::vector<std::pair<std::string, std::string>> fields) {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  std::string line = "{";
+  line += jsonQuote("seq") + ": " + jsonQuote(std::to_string(seq_++));
+  line += ", " + jsonQuote("t_ms") + ": " + jsonQuote(std::to_string(ms));
+  line += ", " + jsonQuote("event") + ": " + jsonQuote(kind);
+  for (const auto& [key, value] : fields) {
+    line += ", " + jsonQuote(key) + ": " + jsonQuote(value);
+  }
+  line += "}";
+  out_ << line << "\n";
+  out_.flush();
+  if (!out_) throw std::runtime_error("writing fleet events failed");
+}
+
+}  // namespace disp::fleet

@@ -1,0 +1,47 @@
+#pragma once
+// fleet_events.jsonl — the fabric's own observability stream.
+//
+// Every coordinator action (spawn/exit/retry/stall/poison/resume/merge/…)
+// appends one self-describing JSON line carrying a monotonic sequence
+// number, so an overnight campaign is diagnosable after the fact and a
+// resumed coordinator continues the same file without renumbering.  Schema
+// (all values JSON strings, like every JSONL stream in this repo;
+// validated by scripts/check_fleet_events.sh):
+//
+//   {"seq", "t_ms", "event": run_start|resume|spawn|exit|stall|chaos_kill|
+//    retry|poison|shard_done|merge|divergence|run_done, ...per-kind fields}
+//
+// t_ms is wall-clock milliseconds since the *current* coordinator process
+// started — telemetry, monotonic within one run; seq is monotonic across
+// runs (resume scans the tail of an existing file to continue it).
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace disp::fleet {
+
+class FleetEventLog {
+ public:
+  /// Opens `path` in append mode; when the file already has events, the
+  /// sequence continues after the highest existing "seq".  Throws on I/O
+  /// failure.
+  explicit FleetEventLog(const std::string& path);
+
+  /// Appends {"seq", "t_ms", "event": kind, fields...} and flushes (the
+  /// stream must survive a SIGKILL'd coordinator just like shard rows do).
+  void emit(const std::string& kind,
+            std::vector<std::pair<std::string, std::string>> fields);
+
+  [[nodiscard]] std::uint64_t nextSeq() const { return seq_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace disp::fleet

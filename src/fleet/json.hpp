@@ -1,0 +1,79 @@
+#pragma once
+// Minimal JSON value model for the fleet fabric.
+//
+// The fleet's durable artifacts — the manifest, the per-shard JSONL rows it
+// re-scans on resume, and the merged output — are all JSON the repo itself
+// produced, so a small recursive-descent parser with strict errors is the
+// whole requirement; no third-party dependency.  Objects preserve insertion
+// order (dump() round-trips the repo's own writers byte-for-byte for the
+// string-valued rows JsonlWriter emits), numbers round-trip through the
+// shortest form that re-parses, and parse errors carry a byte offset so a
+// truncated or corrupted manifest fails with a usable diagnostic.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace disp::fleet {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  /// asNumber() checked to be a non-negative integer that fits uint64.
+  [[nodiscard]] std::uint64_t asU64() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] std::vector<JsonValue>& items();
+  /// Object members in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object insert-or-replace (keeps first-insertion position on replace).
+  void set(std::string key, JsonValue value);
+  void push(JsonValue value);
+
+  /// Compact single-line serialization (no trailing newline).  `indent > 0`
+  /// pretty-prints with that many spaces per level — the manifest form.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses exactly one JSON document (trailing non-whitespace is an
+  /// error).  Throws std::runtime_error with a byte offset on malformed
+  /// input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  void dumpTo(std::string& out, int indent, int depth) const;
+};
+
+/// Escapes `s` as a JSON string literal including the quotes.
+[[nodiscard]] std::string jsonQuote(std::string_view s);
+
+}  // namespace disp::fleet

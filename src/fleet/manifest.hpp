@@ -1,0 +1,67 @@
+#pragma once
+// fleet_manifest.json — the durable source of truth for a fleet run.
+//
+// The coordinator writes the manifest before spawning anything and after
+// every state transition (atomically: tmp + rename), so a killed
+// coordinator resumes from disk: which sweeps, how many shards, each
+// shard's state (pending/running/done/failed), which worker last ran it,
+// how many attempts it has burned, and where its attempt outputs live.
+// Load rejects corrupted or mismatched manifests loudly — resuming against
+// the wrong sweep or shard count would silently interleave incompatible
+// rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace disp::fleet {
+
+enum class ShardState { Pending, Running, Done, Failed };
+
+[[nodiscard]] const char* shardStateName(ShardState s);
+[[nodiscard]] ShardState shardStateFromName(const std::string& name);
+
+struct ShardEntry {
+  std::uint32_t index = 0;
+  ShardState state = ShardState::Pending;
+  /// Attempts started so far (the next attempt is attempts + 1).
+  std::uint32_t attempts = 0;
+  /// Last assigned worker slot description ("" before the first spawn).
+  std::string worker;
+  /// One JSONL path per attempt, in attempt order; every attempt's flushed
+  /// rows stay durable (a killed attempt's partial file still feeds resume
+  /// and merge).
+  std::vector<std::string> outputs;
+  /// Cells this shard owns per the coordinator's enumeration (0 = unknown).
+  std::uint64_t cells = 0;
+  /// Distinct completed cells recovered from the attempt outputs.
+  std::uint64_t cellsDone = 0;
+
+  /// The JSONL path of the current/latest attempt ("" before any).
+  [[nodiscard]] const std::string& output() const;
+};
+
+struct Manifest {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::vector<std::string> sweeps;
+  /// disp_bench pass-through flags, verbatim (axis overrides etc.); a
+  /// resume must present the same list or the cell enumeration differs.
+  std::vector<std::string> benchArgs;
+  std::string fleetSpec;
+  std::uint32_t shardCount = 0;
+  std::uint64_t totalCells = 0;
+  std::vector<ShardEntry> shards;
+
+  /// Serializes to pretty-printed JSON (trailing newline included).
+  [[nodiscard]] std::string toJson() const;
+  /// Parses + validates; throws std::runtime_error naming the defect.
+  [[nodiscard]] static Manifest fromJson(const std::string& text);
+
+  /// Atomic durable write: PATH.tmp + rename.  Throws on I/O failure.
+  void save(const std::string& path) const;
+  /// Loads and validates PATH; throws with the path in the message.
+  [[nodiscard]] static Manifest load(const std::string& path);
+};
+
+}  // namespace disp::fleet

@@ -393,6 +393,28 @@ GraphBuilder makeBarbell(std::uint32_t cliqueSize, std::uint32_t pathLen) {
   return b;
 }
 
+GraphBuilder makeExpander(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+  DISP_REQUIRE(d >= 4 && d % 2 == 0, "expander degree must be even and >= 4");
+  DISP_REQUIRE(n >= 2 * d, "expander needs n >= 2d");
+  // Random circulant: every shift s <= (n-1)/2 links v to v±s, so distinct
+  // shifts make the graph simple and exactly d-regular; shift 1 is always
+  // included (a Hamiltonian cycle — connected by construction) and the
+  // remaining d/2 - 1 shifts are a seeded sample of [2, (n-1)/2].
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t s = 2; s <= (n - 1) / 2; ++s) pool.push_back(s);
+  Rng rng(seed ^ 0xe8bad5e7ULL);
+  rng.shuffle(pool);
+  std::vector<std::uint32_t> shifts{1};
+  shifts.insert(shifts.end(), pool.begin(), pool.begin() + (d / 2 - 1));
+  GraphBuilder b(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    // {v, v+s} appears exactly once over the v loop: its other spelling
+    // would need the shift n-s > (n-1)/2, which is never in the set.
+    for (const std::uint32_t s : shifts) b.addEdge(v, (v + s) % n);
+  }
+  return b;
+}
+
 bool isConnected(const Graph& g) {
   const std::uint32_t n = g.nodeCount();
   if (n == 0) return true;

@@ -62,6 +62,13 @@ namespace disp {
 [[nodiscard]] GraphBuilder makeLollipop(std::uint32_t n, std::uint32_t cliqueSize);
 /// Barbell: two K_c cliques joined by a path.
 [[nodiscard]] GraphBuilder makeBarbell(std::uint32_t cliqueSize, std::uint32_t pathLen);
+/// Random circulant expander: shift 1 (a Hamiltonian cycle — connected by
+/// construction) plus d/2 - 1 further seeded distinct shifts; exactly
+/// d-regular and simple.  Requires d even, d >= 4, n >= 2d.  The
+/// low-diameter / high-conductance counterpoint to the path and grid
+/// workloads.
+[[nodiscard]] GraphBuilder makeExpander(std::uint32_t n, std::uint32_t d,
+                                        std::uint64_t seed);
 
 // The string-keyed family registry (family name -> one of the generators
 // above, with the historical size-derivation rules) lives in graph/spec.hpp:

@@ -109,6 +109,12 @@ GraphBuilder makeFamBarbell(const GraphSpec& s, std::uint32_t n, std::uint64_t) 
   const std::uint32_t c = s.u32("clique", std::max(2U, n / 3));
   return makeBarbell(c, s.u32("path", n - 2 * c));
 }
+GraphBuilder makeFamExpander(const GraphSpec& s, std::uint32_t n, std::uint64_t seed) {
+  const std::uint32_t d = s.u32("d", 8);
+  // The generator wants n >= 2d; small context sizes are padded up like
+  // `regular` pads to its feasibility floor.
+  return makeExpander(std::max(n, 2 * d), d, seed);
+}
 
 std::deque<GraphFamilyDef>& mutableRegistry() {
   static std::deque<GraphFamilyDef> registry{
@@ -143,6 +149,8 @@ std::deque<GraphFamilyDef>& mutableRegistry() {
       {"lollipop", "clique glued to a path", {"clique"}, {}, &makeFamLollipop},
       {"barbell", "two cliques joined by a path", {"clique", "path"}, {},
        &makeFamBarbell},
+      {"expander", "random circulant expander (d-regular, seeded)", {"d"}, {},
+       &makeFamExpander},
   };
   return registry;
 }

@@ -355,13 +355,16 @@ TEST(PlacementSpec, ParsePrintRoundTrip) {
   // Canonical strings are fixpoints; defaults are elided.
   for (const std::string canon :
        {"rooted", "rooted:root=5", "clusters:l=8", "spread", "adversarial:far",
-        "adversarial:far,l=4", "adversarial:hot"}) {
+        "adversarial:far,l=4", "adversarial:frontier", "adversarial:frontier,l=4",
+        "adversarial:hot"}) {
     EXPECT_EQ(PlacementSpec::parse(canon).toString(), canon);
   }
   EXPECT_EQ(PlacementSpec::parse("rooted:root=0").toString(), "rooted");
   EXPECT_EQ(PlacementSpec::parse("clusters:l=02").toString(), "clusters:l=2");
   EXPECT_EQ(PlacementSpec::parse("adversarial:far,l=2").toString(),
             "adversarial:far");
+  EXPECT_EQ(PlacementSpec::parse("adversarial:frontier,l=2").toString(),
+            "adversarial:frontier");
 }
 
 // Round-trip fuzz across the whole grammar: any generated spelling must
@@ -370,7 +373,7 @@ TEST(PlacementSpec, RoundTripFuzz) {
   Rng rng(0x5ca1ab1eULL);
   for (int iter = 0; iter < 300; ++iter) {
     std::string text;
-    switch (rng.below(5)) {
+    switch (rng.below(6)) {
       case 0:
         text = rng.chance(0.5) ? "rooted"
                                : "rooted:root=" + std::to_string(rng.below(1000));
@@ -386,6 +389,11 @@ TEST(PlacementSpec, RoundTripFuzz) {
                    ? "adversarial:far"
                    : "adversarial:far,l=" + std::to_string(1 + rng.below(64));
         break;
+      case 4:
+        text = rng.chance(0.5)
+                   ? "adversarial:frontier"
+                   : "adversarial:frontier,l=" + std::to_string(1 + rng.below(64));
+        break;
       default:
         text = "adversarial:hot";
         break;
@@ -398,7 +406,8 @@ TEST(PlacementSpec, RoundTripFuzz) {
 TEST(PlacementSpec, ParseRejectsUnknownKindsAndParams) {
   for (const std::string bad :
        {"cluster:l=2", "rooted:x=1", "clusters:l=abc", "adversarial:cold",
-        "adversarial", "spread:l=2", "clusters:l=0", ""}) {
+        "adversarial", "spread:l=2", "clusters:l=0", "",
+        "adversarial:frontier,x=2", "adversarial:frontier,l=0"}) {
     EXPECT_THROW((void)PlacementSpec::parse(bad), std::invalid_argument) << bad;
   }
 }
@@ -419,6 +428,8 @@ TEST(PlacementSpec, KindsMapToTheFreeFunctions) {
      adversarialHotPlacement(g, 10, 7));
   eq(PlacementSpec::parse("adversarial:far,l=3").place(g, 9, 7),
      adversarialFarPlacement(g, 9, 3, 7));
+  eq(PlacementSpec::parse("adversarial:frontier,l=3").place(g, 9, 7),
+     adversarialFrontierPlacement(g, 9, 3, 7));
 }
 
 TEST(PlacementSpec, TableLabelsMatchHistoricalClusterColumn) {
@@ -426,6 +437,8 @@ TEST(PlacementSpec, TableLabelsMatchHistoricalClusterColumn) {
   EXPECT_EQ(PlacementSpec::parse("clusters:l=8").tableLabel(), "8");
   EXPECT_EQ(PlacementSpec::parse("spread").tableLabel(), "spread");
   EXPECT_EQ(PlacementSpec::parse("adversarial:far").tableLabel(), "far:2");
+  EXPECT_EQ(PlacementSpec::parse("adversarial:frontier,l=3").tableLabel(),
+            "frontier:3");
   EXPECT_EQ(PlacementSpec::parse("adversarial:hot").tableLabel(), "hot");
 }
 
@@ -454,6 +467,41 @@ TEST(Placement, AdversarialFarSeparatesClustersByDiameter) {
   const Placement p = adversarialFarPlacement(g, 16, 4, 3);
   std::set<NodeId> centers(p.positions.begin(), p.positions.end());
   EXPECT_EQ(centers.size(), 4u);
+}
+
+// The adversarial:frontier invariant: centers are the deepest BFS levels
+// from node 0 — every center is at least as deep as every non-center.
+TEST(Placement, AdversarialFrontierPicksTheDeepestBfsLevels) {
+  // Exact on a path: BFS depth from node 0 is the node id, so the l = 2
+  // centers are the two far-end nodes.
+  const Graph path = makePath(12).build();
+  const Placement onPath = adversarialFrontierPlacement(path, 6, 2, 5);
+  const std::set<NodeId> pathCenters(onPath.positions.begin(),
+                                     onPath.positions.end());
+  EXPECT_EQ(pathCenters, (std::set<NodeId>{10, 11}));
+
+  for (const std::string spec :
+       {"path:n=40", "grid:rows=7,cols=7", "er:n=100", "randtree:n=80",
+        "cycle:n=30", "lollipop:n=40,clique=10"}) {
+    const Graph g = makeGraph(spec, 0, 13);
+    const std::uint32_t l = 4;
+    const Placement p = adversarialFrontierPlacement(g, 12, l, 13);
+    const std::set<NodeId> centers(p.positions.begin(), p.positions.end());
+    ASSERT_EQ(centers.size(), l) << spec;
+    // Recompute the property from scratch: min depth over centers >= max
+    // depth over excluded nodes (the centers are a deepest-first prefix).
+    const std::vector<std::uint32_t> dist = bfsDistances(g, 0);
+    std::uint32_t minCenter = kUnreachable;
+    for (const NodeId c : centers) minCenter = std::min(minCenter, dist[c]);
+    for (NodeId v = 0; v < g.nodeCount(); ++v) {
+      if (centers.count(v) > 0) continue;
+      EXPECT_GE(minCenter, dist[v]) << spec << " node " << v;
+    }
+    // Deterministic positions: the seed only drives the agent IDs.
+    const Placement q = adversarialFrontierPlacement(g, 12, l, 999);
+    EXPECT_EQ(p.positions, q.positions) << spec;
+    EXPECT_NE(p.ids, q.ids) << spec;
+  }
 }
 
 // The adversarial:hot invariant: every agent starts on an argmax-degree

@@ -497,6 +497,48 @@ TEST(GraphSpec, LollipopRoundTripsAndHasCliquePlusPath) {
   }
 }
 
+TEST(GraphSpec, ExpanderRoundTripsAndIsRegularConnected) {
+  EXPECT_EQ(GraphSpec::parse("expander").toString(), "expander");
+  const std::string canon = GraphSpec::parse("expander:d=06").toString();
+  EXPECT_EQ(canon, "expander:d=6");
+  EXPECT_EQ(GraphSpec::parse(canon).toString(), canon);
+  expectParseError([] { (void)GraphSpec::parse("expander:q=1"); },
+                   "no parameter 'q'");
+
+  // Structure invariants: exactly d-regular, simple (CSR validation), and
+  // connected via the built-in Hamiltonian shift-1 cycle.
+  const Graph g = makeGraph("expander:d=6", 60, 5);
+  EXPECT_EQ(g.nodeCount(), 60u);
+  EXPECT_EQ(g.edgeCount(), std::uint64_t{60} * 6 / 2);
+  for (NodeId v = 0; v < g.nodeCount(); ++v) EXPECT_EQ(g.degree(v), 6u) << v;
+  EXPECT_TRUE(isConnected(g));
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    EXPECT_TRUE(adjacent(g, v, (v + 1) % 60)) << v;  // the cycle shift
+  }
+
+  // Bare family name: default d = 8, size from context; tiny contexts are
+  // padded up to the n >= 2d feasibility floor.
+  const Graph dflt = makeGraph("expander", 64, 9);
+  EXPECT_EQ(dflt.nodeCount(), 64u);
+  EXPECT_EQ(dflt.maxDegree(), 8u);
+  EXPECT_EQ(makeGraph("expander", 4, 9).nodeCount(), 16u);
+
+  // Seed-deterministic: the same seed reproduces the same shift set.
+  const Graph a = makeGraph("expander:d=6", 40, 7);
+  const Graph b = makeGraph("expander:d=6", 40, 7);
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      EXPECT_EQ(adjacent(a, u, v), adjacent(b, u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(Generators, ExpanderRejectsInfeasibleParameters) {
+  EXPECT_THROW((void)makeExpander(10, 6, 1), std::invalid_argument);  // n < 2d
+  EXPECT_THROW((void)makeExpander(20, 5, 1), std::invalid_argument);  // d odd
+  EXPECT_THROW((void)makeExpander(20, 2, 1), std::invalid_argument);  // d < 4
+}
+
 TEST(GraphSpec, BarbellRoundTripsAndHasTwoCliquesJoinedByAPath) {
   const std::string canon = GraphSpec::parse("barbell:path=04,clique=6").toString();
   EXPECT_EQ(canon, "barbell:clique=6,path=4");
